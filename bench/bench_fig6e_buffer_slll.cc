@@ -1,0 +1,11 @@
+// Reproduces Figure 6(e): elapsed time with varying buffer sizes on the
+// single-height SLLL dataset (P = buffer pages / pages of the smaller
+// set). See RunBufferSweep for the sweep definition.
+
+#include "bench/bench_common.h"
+#include "datagen/synthetic.h"
+
+int main() {
+  pbitree::bench::RunBufferSweep("SLLL", pbitree::Algorithm::kShcj);
+  return 0;
+}

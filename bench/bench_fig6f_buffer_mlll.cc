@@ -1,0 +1,11 @@
+// Reproduces Figure 6(f): elapsed time with varying buffer sizes on the
+// multi-height MLLL dataset. See RunBufferSweep for the sweep
+// definition.
+
+#include "bench/bench_common.h"
+#include "datagen/synthetic.h"
+
+int main() {
+  pbitree::bench::RunBufferSweep("MLLL", pbitree::Algorithm::kMhcjRollup);
+  return 0;
+}

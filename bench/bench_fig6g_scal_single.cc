@@ -1,0 +1,9 @@
+// Reproduces Figure 6(g): scalability on single-height datasets of
+// k * 5*10^4 (scaled) elements, k = 1..8.
+
+#include "bench/bench_common.h"
+
+int main() {
+  pbitree::bench::RunScalabilitySweep(/*multi_height=*/false);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 6(h): scalability on multi-height datasets of
+// k * 5*10^4 (scaled) elements, k = 1..8.
+
+#include "bench/bench_common.h"
+
+int main() {
+  pbitree::bench::RunScalabilitySweep(/*multi_height=*/true);
+  return 0;
+}

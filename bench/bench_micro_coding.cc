@@ -1,0 +1,103 @@
+// Micro-benchmarks for the Section 2.3 discussion: the PBiTree coding
+// primitives are a handful of shift/add instructions, so computing
+// region codes on the fly (the adaptation of the region-based
+// algorithms) costs next to nothing — the paper's justification for
+// "the two classes of algorithms have almost the same performance".
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "pbitree/code.h"
+
+namespace pbitree {
+namespace {
+
+std::vector<Code> MakeCodes(size_t n) {
+  Random rng(1234);
+  PBiTreeSpec spec{40};
+  std::vector<Code> out(n);
+  for (auto& c : out) c = rng.UniformRange(1, spec.MaxCode());
+  return out;
+}
+
+void BM_HeightOf(benchmark::State& state) {
+  auto codes = MakeCodes(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HeightOf(codes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_HeightOf);
+
+void BM_AncestorAtHeight(benchmark::State& state) {
+  auto codes = MakeCodes(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    Code c = codes[i++ & 4095];
+    benchmark::DoNotOptimize(AncestorAtHeight(c, 20));
+  }
+}
+BENCHMARK(BM_AncestorAtHeight);
+
+void BM_IsAncestor(benchmark::State& state) {
+  auto codes = MakeCodes(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    Code a = codes[i & 4095];
+    Code d = codes[(i + 1) & 4095];
+    ++i;
+    benchmark::DoNotOptimize(IsAncestor(a, d));
+  }
+}
+BENCHMARK(BM_IsAncestor);
+
+void BM_RegionConversion(benchmark::State& state) {
+  auto codes = MakeCodes(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ToRegion(codes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_RegionConversion);
+
+void BM_RegionContainmentCheck(benchmark::State& state) {
+  // The adapted region algorithms' hot path: convert + compare.
+  auto codes = MakeCodes(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    Region ra = ToRegion(codes[i & 4095]);
+    Region rd = ToRegion(codes[(i + 1) & 4095]);
+    ++i;
+    benchmark::DoNotOptimize(ra.Contains(rd));
+  }
+}
+BENCHMARK(BM_RegionContainmentCheck);
+
+void BM_PrefixConversion(benchmark::State& state) {
+  auto codes = MakeCodes(4096);
+  PBiTreeSpec spec{40};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ToPrefix(codes[i++ & 4095], spec));
+  }
+}
+BENCHMARK(BM_PrefixConversion);
+
+void BM_TopDownCode(benchmark::State& state) {
+  PBiTreeSpec spec{40};
+  Random rng(5);
+  std::vector<uint64_t> alphas(4096);
+  for (auto& a : alphas) a = rng.Uniform(1 << 20);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CodeOfTopDown(alphas[i++ & 4095], 20, spec));
+  }
+}
+BENCHMARK(BM_TopDownCode);
+
+}  // namespace
+}  // namespace pbitree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Reproduces Table 2(f): the number of false hits introduced by the
+// MHCJ+Rollup technique on the eight multi-height synthetic datasets
+// (key matches of the rolled equijoin rejected by the exact Lemma-1
+// filter in the pipeline).
+//
+// Paper shape to verify: false hits are a modest multiple of the real
+// result count on the H datasets and the extra CPU is negligible
+// relative to the disk-bound join (the paper's point that rollup's
+// false hits are cheap).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "datagen/synthetic.h"
+#include "framework/planner.h"
+#include "join/mhcj_rollup.h"
+
+namespace pbitree {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("=== Table 2(f): false hits of MHCJ+Rollup ===\n");
+  std::printf("scale=%g  buffer=%zu pages\n\n", cfg.scale,
+              cfg.DefaultBufferPages());
+
+  std::printf("%-8s %12s %12s %14s %14s\n", "dataset", "#results",
+              "#false-hits", "fh(max-pol)", "fh(median-pol)");
+  PrintRule(66);
+
+  for (const auto& named : CanonicalSyntheticSpecs(cfg.scale, cfg.seed)) {
+    if (named.name[0] != 'M') continue;
+
+    Env env(cfg.DefaultBufferPages());
+    auto ds = GenerateSynthetic(env.bm.get(), named.spec);
+    if (!ds.ok()) continue;
+
+    RunOptions opts;
+    opts.cold_cache = true;
+    opts.work_pages = cfg.DefaultBufferPages();
+    opts.simulated_io_ms = cfg.sim_io_ms;
+
+    opts.rollup_policy = RollupHeightPolicy::kMax;
+    RunResult max_pol =
+        MustRun(Algorithm::kMhcjRollup, env.bm.get(), ds->a, ds->d, opts);
+    opts.rollup_policy = RollupHeightPolicy::kMedian;
+    RunResult med_pol =
+        MustRun(Algorithm::kMhcjRollup, env.bm.get(), ds->a, ds->d, opts);
+
+    std::printf("%-8s %12llu %12llu %14llu %14llu\n", named.name.c_str(),
+                static_cast<unsigned long long>(max_pol.output_pairs),
+                static_cast<unsigned long long>(max_pol.stats.false_hits),
+                static_cast<unsigned long long>(max_pol.stats.false_hits),
+                static_cast<unsigned long long>(med_pol.stats.false_hits));
+  }
+  std::printf(
+      "\n(paper reports false hits from ~1 up to ~340k on the 10^6-element\n"
+      " datasets; the CPU cost of filtering them is negligible — the\n"
+      " median policy trades fewer false hits for extra partitions)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pbitree
+
+int main() {
+  pbitree::bench::Run();
+  return 0;
+}

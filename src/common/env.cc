@@ -1,0 +1,44 @@
+#include "common/env.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace pbitree {
+
+std::string TempFilePath(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::filesystem::path dir = std::filesystem::temp_directory_path();
+  uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  std::string name = prefix + "." + std::to_string(::getpid()) + "." +
+                     std::to_string(id) + ".pbt";
+  return (dir / name).string();
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+}  // namespace pbitree

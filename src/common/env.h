@@ -1,0 +1,29 @@
+#ifndef PBITREE_COMMON_ENV_H_
+#define PBITREE_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pbitree {
+
+/// \brief Small process-environment helpers shared by tests, benches and
+/// examples (temp paths, env-var knobs).
+
+/// Returns a fresh, unique path under the system temp directory with the
+/// given prefix. The file is not created.
+std::string TempFilePath(const std::string& prefix);
+
+/// Removes a file if it exists; ignores errors.
+void RemoveFileIfExists(const std::string& path);
+
+/// Reads an integer environment variable, returning `def` when unset or
+/// unparsable.
+int64_t EnvInt64(const char* name, int64_t def);
+
+/// Reads a floating-point environment variable, returning `def` when unset
+/// or unparsable.
+double EnvDouble(const char* name, double def);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_COMMON_ENV_H_

@@ -1,0 +1,29 @@
+#ifndef PBITREE_COMMON_TIMER_H_
+#define PBITREE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pbitree {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_COMMON_TIMER_H_

@@ -1,0 +1,122 @@
+#include "datagen/dblp_gen.h"
+
+#include "common/random.h"
+
+namespace pbitree {
+
+namespace {
+
+struct Gen {
+  DataTree* tree;
+  Random rng;
+  bool with_text;
+
+  NodeId Leaf(NodeId parent, std::string_view tag) {
+    NodeId n = tree->AddChild(parent, tag);
+    if (with_text) tree->AppendText(n, "x");
+    return n;
+  }
+
+  /// Titles occasionally contain sub/sup/i markup (chemistry, math),
+  /// which is what gives DBLP records depth beyond two levels.
+  void Title(NodeId rec) {
+    NodeId title = Leaf(rec, "title");
+    if (rng.Bernoulli(0.03)) Leaf(title, "sub");
+    if (rng.Bernoulli(0.02)) Leaf(title, "sup");
+    if (rng.Bernoulli(0.02)) Leaf(title, "i");
+  }
+
+  void CommonFields(NodeId rec, bool journal) {
+    uint64_t authors = 1 + rng.Uniform(4);
+    for (uint64_t i = 0; i < authors; ++i) Leaf(rec, "author");
+    Title(rec);
+    if (rng.Bernoulli(0.8)) Leaf(rec, "pages");
+    Leaf(rec, "year");
+    if (journal) {
+      Leaf(rec, "journal");
+      Leaf(rec, "volume");
+      if (rng.Bernoulli(0.7)) Leaf(rec, "number");
+    } else {
+      Leaf(rec, "booktitle");
+    }
+    if (rng.Bernoulli(0.4)) Leaf(rec, "ee");
+    if (rng.Bernoulli(0.5)) Leaf(rec, "url");
+    uint64_t cites = rng.Bernoulli(0.05) ? rng.UniformRange(1, 10) : 0;
+    for (uint64_t i = 0; i < cites; ++i) Leaf(rec, "cite");
+  }
+};
+
+}  // namespace
+
+Status GenerateDblp(DataTree* tree, const DblpOptions& options) {
+  if (!tree->empty()) {
+    return Status::InvalidArgument("GenerateDblp needs an empty tree");
+  }
+  if (options.num_publications == 0) {
+    return Status::InvalidArgument("num_publications must be positive");
+  }
+
+  Gen g{tree, Random(options.seed), options.with_text};
+  NodeId dblp = tree->CreateRoot("dblp");
+
+  for (uint64_t i = 0; i < options.num_publications; ++i) {
+    // Approximate record-type mix of the 2002 dump: conference papers
+    // and journal articles dominate.
+    uint64_t r = g.rng.Uniform(100);
+    if (r < 45) {
+      NodeId rec = tree->AddChild(dblp, "inproceedings");
+      g.CommonFields(rec, /*journal=*/false);
+      if (g.rng.Bernoulli(0.9)) g.Leaf(rec, "crossref");
+    } else if (r < 85) {
+      NodeId rec = tree->AddChild(dblp, "article");
+      g.CommonFields(rec, /*journal=*/true);
+    } else if (r < 90) {
+      NodeId rec = tree->AddChild(dblp, "proceedings");
+      g.Leaf(rec, "editor");
+      g.Title(rec);
+      g.Leaf(rec, "year");
+      g.Leaf(rec, "booktitle");
+      if (g.rng.Bernoulli(0.6)) g.Leaf(rec, "publisher");
+      if (g.rng.Bernoulli(0.6)) g.Leaf(rec, "isbn");
+    } else if (r < 93) {
+      NodeId rec = tree->AddChild(dblp, "incollection");
+      g.CommonFields(rec, /*journal=*/false);
+    } else if (r < 95) {
+      NodeId rec = tree->AddChild(dblp, "book");
+      g.Leaf(rec, "author");
+      g.Title(rec);
+      g.Leaf(rec, "publisher");
+      g.Leaf(rec, "year");
+      if (g.rng.Bernoulli(0.7)) g.Leaf(rec, "isbn");
+    } else if (r < 97) {
+      NodeId rec = tree->AddChild(dblp, "phdthesis");
+      g.Leaf(rec, "author");
+      g.Title(rec);
+      g.Leaf(rec, "year");
+      g.Leaf(rec, "school");
+    } else {
+      NodeId rec = tree->AddChild(dblp, "www");
+      g.Leaf(rec, "author");
+      g.Title(rec);
+      g.Leaf(rec, "url");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<TagJoinSpec> DblpJoins() {
+  return {
+      {"D1", "article", "ee"},             // large A, mid D
+      {"D2", "article", "sub"},            // large A, tiny D
+      {"D3", "article", "sup"},            // large A, tiny D
+      {"D4", "article", "volume"},         // ~1:1 on a large set
+      {"D5", "inproceedings", "url"},      // largest A, mid D
+      {"D6", "inproceedings", "i"},        // largest A, tiny D
+      {"D7", "inproceedings", "cite"},     // mid D, clustered
+      {"D8", "proceedings", "sup"},        // near-empty result
+      {"D9", "inproceedings", "pages"},    // large 1:1
+      {"D10", "title", "sub"},             // multi-height-ish ancestor set
+  };
+}
+
+}  // namespace pbitree

@@ -1,0 +1,42 @@
+#ifndef PBITREE_DATAGEN_DBLP_GEN_H_
+#define PBITREE_DATAGEN_DBLP_GEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/tag_join.h"
+#include "xml/data_tree.h"
+
+namespace pbitree {
+
+/// \brief Options for the DBLP-like bibliography generator.
+///
+/// The paper's second real-world dataset is the DBLP records dump
+/// (~50 MB of XML). This module regenerates the same document shape: a
+/// flat dblp root with hundreds of thousands of publication records
+/// (article / inproceedings / proceedings / book / incollection /
+/// phdthesis / www) whose fields (author+, title, year, pages, journal
+/// or booktitle, ee, url, cite*, sub/sup markup inside some titles)
+/// reproduce the shallow-but-wide element distribution the D-queries
+/// join over.
+struct DblpOptions {
+  /// Total number of publication records. The real dump of 2002 held
+  /// roughly 300k records; the D-query cardinalities of Table 2(d)
+  /// (|A| up to 200271) correspond to that order of magnitude.
+  uint64_t num_publications = 300000;
+  uint64_t seed = 11;
+  bool with_text = false;
+};
+
+/// Generates the bibliography into `tree` (which must be empty).
+Status GenerateDblp(DataTree* tree, const DblpOptions& options);
+
+/// The ten DBLP containment joins D1-D10 (Table 2(d)); tag pairs chosen
+/// to reproduce the table's cardinality profile (large single-height
+/// ancestor sets — publication records — probed by field sets of very
+/// different sizes).
+std::vector<TagJoinSpec> DblpJoins();
+
+}  // namespace pbitree
+
+#endif  // PBITREE_DATAGEN_DBLP_GEN_H_

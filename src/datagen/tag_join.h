@@ -1,0 +1,21 @@
+#ifndef PBITREE_DATAGEN_TAG_JOIN_H_
+#define PBITREE_DATAGEN_TAG_JOIN_H_
+
+#include <string>
+#include <vector>
+
+namespace pbitree {
+
+/// \brief A containment join expressed as a pair of element tags —
+/// "//ancestor_tag//descendant_tag" — the shape of the B1-B10 and
+/// D1-D10 queries of Section 4.2 (EE-joins after the decomposition of
+/// Li & Moon [12]).
+struct TagJoinSpec {
+  std::string name;            // e.g. "B3" or "D7"
+  std::string ancestor_tag;    // element name of the ancestor set
+  std::string descendant_tag;  // element name of the descendant set
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_DATAGEN_TAG_JOIN_H_

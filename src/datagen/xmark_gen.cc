@@ -1,0 +1,221 @@
+#include "datagen/xmark_gen.h"
+
+#include <string>
+
+#include "common/random.h"
+
+namespace pbitree {
+
+namespace {
+
+/// Builder utilities around DataTree with optional filler text.
+struct Gen {
+  DataTree* tree;
+  Random rng;
+  bool with_text;
+
+  NodeId Leaf(NodeId parent, std::string_view tag) {
+    NodeId n = tree->AddChild(parent, tag);
+    if (with_text) tree->AppendText(n, "x");
+    return n;
+  }
+
+  /// XMark's recursive description markup: text with keyword/emph/bold
+  /// islands, or a parlist of listitems that nest one level deeper.
+  void Description(NodeId parent, int depth) {
+    NodeId desc = tree->AddChild(parent, "description");
+    if (depth < 2 && rng.Bernoulli(0.3)) {
+      NodeId parlist = tree->AddChild(desc, "parlist");
+      uint64_t items = rng.UniformRange(1, 3);
+      for (uint64_t i = 0; i < items; ++i) {
+        NodeId li = tree->AddChild(parlist, "listitem");
+        TextBlock(li, depth + 1);
+      }
+    } else {
+      TextBlock(desc, depth + 1);
+    }
+  }
+
+  void TextBlock(NodeId parent, int depth) {
+    NodeId text = Leaf(parent, "text");
+    uint64_t kws = rng.Uniform(3);
+    for (uint64_t i = 0; i < kws; ++i) Leaf(text, "keyword");
+    if (rng.Bernoulli(0.2)) Leaf(text, "emph");
+    if (rng.Bernoulli(0.1)) Leaf(text, "bold");
+    if (depth < 3 && rng.Bernoulli(0.1)) TextBlock(parent, depth + 1);
+  }
+
+  void Item(NodeId region, uint64_t num_categories) {
+    NodeId item = tree->AddChild(region, "item");
+    Leaf(item, "location");
+    Leaf(item, "quantity");
+    Leaf(item, "name");
+    NodeId payment = Leaf(item, "payment");
+    (void)payment;
+    Description(item, 0);
+    Leaf(item, "shipping");
+    uint64_t cats = rng.UniformRange(1, 3);
+    for (uint64_t i = 0; i < cats && num_categories > 0; ++i) {
+      Leaf(item, "incategory");
+    }
+    if (rng.Bernoulli(0.3)) {
+      NodeId mailbox = tree->AddChild(item, "mailbox");
+      uint64_t mails = rng.UniformRange(1, 2);
+      for (uint64_t i = 0; i < mails; ++i) {
+        NodeId mail = tree->AddChild(mailbox, "mail");
+        Leaf(mail, "from");
+        Leaf(mail, "to");
+        Leaf(mail, "date");
+        TextBlock(mail, 1);
+      }
+    }
+  }
+
+  void Person(NodeId people) {
+    NodeId person = tree->AddChild(people, "person");
+    Leaf(person, "name");
+    Leaf(person, "emailaddress");
+    if (rng.Bernoulli(0.5)) Leaf(person, "phone");
+    if (rng.Bernoulli(0.6)) {
+      NodeId addr = tree->AddChild(person, "address");
+      Leaf(addr, "street");
+      Leaf(addr, "city");
+      Leaf(addr, "country");
+      Leaf(addr, "zipcode");
+    }
+    if (rng.Bernoulli(0.3)) Leaf(person, "homepage");
+    if (rng.Bernoulli(0.5)) Leaf(person, "creditcard");
+    if (rng.Bernoulli(0.7)) {
+      NodeId prof = tree->AddChild(person, "profile");
+      uint64_t interests = rng.Uniform(4);
+      for (uint64_t i = 0; i < interests; ++i) Leaf(prof, "interest");
+      if (rng.Bernoulli(0.5)) Leaf(prof, "education");
+      Leaf(prof, "gender");
+      Leaf(prof, "business");
+      Leaf(prof, "age");
+    }
+    if (rng.Bernoulli(0.2)) {
+      NodeId watches = tree->AddChild(person, "watches");
+      uint64_t ws = rng.UniformRange(1, 3);
+      for (uint64_t i = 0; i < ws; ++i) Leaf(watches, "watch");
+    }
+  }
+
+  void OpenAuction(NodeId parent) {
+    NodeId oa = tree->AddChild(parent, "open_auction");
+    Leaf(oa, "initial");
+    if (rng.Bernoulli(0.5)) Leaf(oa, "reserve");
+    uint64_t bidders = rng.Uniform(5);
+    for (uint64_t i = 0; i < bidders; ++i) {
+      NodeId b = tree->AddChild(oa, "bidder");
+      Leaf(b, "date");
+      Leaf(b, "time");
+      Leaf(b, "personref");
+      Leaf(b, "increase");
+    }
+    Leaf(oa, "current");
+    Leaf(oa, "privacy");
+    Leaf(oa, "itemref");
+    Leaf(oa, "seller");
+    Annotation(oa);
+    Leaf(oa, "quantity");
+    NodeId interval = tree->AddChild(oa, "interval");
+    Leaf(interval, "start");
+    Leaf(interval, "end");
+    Leaf(oa, "type");
+  }
+
+  void ClosedAuction(NodeId parent) {
+    NodeId ca = tree->AddChild(parent, "closed_auction");
+    Leaf(ca, "seller");
+    Leaf(ca, "buyer");
+    Leaf(ca, "itemref");
+    Leaf(ca, "price");
+    Leaf(ca, "date");
+    Leaf(ca, "quantity");
+    Leaf(ca, "type");
+    Annotation(ca);
+  }
+
+  void Annotation(NodeId parent) {
+    NodeId ann = tree->AddChild(parent, "annotation");
+    Leaf(ann, "author");
+    Description(ann, 1);
+    Leaf(ann, "happiness");
+  }
+};
+
+}  // namespace
+
+Status GenerateXmark(DataTree* tree, const XmarkOptions& options) {
+  if (!tree->empty()) {
+    return Status::InvalidArgument("GenerateXmark needs an empty tree");
+  }
+  if (options.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  const double sf = options.scale_factor;
+  // XMark SF = 1 cardinalities.
+  const auto items = static_cast<uint64_t>(21750 * sf);
+  const auto persons = static_cast<uint64_t>(25500 * sf);
+  const auto open_auctions = static_cast<uint64_t>(12000 * sf);
+  const auto closed_auctions = static_cast<uint64_t>(9750 * sf);
+  const auto categories = static_cast<uint64_t>(1000 * sf);
+
+  Gen g{tree, Random(options.seed), options.with_text};
+
+  NodeId site = tree->CreateRoot("site");
+
+  NodeId regions = tree->AddChild(site, "regions");
+  const char* region_names[] = {"africa",  "asia",    "australia",
+                                "europe",  "namerica", "samerica"};
+  NodeId region_nodes[6];
+  for (int i = 0; i < 6; ++i) {
+    region_nodes[i] = tree->AddChild(regions, region_names[i]);
+  }
+  // XMark skews items toward namerica/europe; a mild skew suffices for
+  // the join profiles.
+  for (uint64_t i = 0; i < items; ++i) {
+    int r = static_cast<int>(g.rng.Uniform(10));
+    int region = r < 4 ? 4 : (r < 7 ? 3 : static_cast<int>(g.rng.Uniform(6)));
+    g.Item(region_nodes[region], categories);
+  }
+
+  NodeId cats = tree->AddChild(site, "categories");
+  for (uint64_t i = 0; i < categories; ++i) {
+    NodeId c = tree->AddChild(cats, "category");
+    g.Leaf(c, "name");
+    g.Description(c, 1);
+  }
+
+  NodeId catgraph = tree->AddChild(site, "catgraph");
+  for (uint64_t i = 0; i < categories; ++i) g.Leaf(catgraph, "edge");
+
+  NodeId people = tree->AddChild(site, "people");
+  for (uint64_t i = 0; i < persons; ++i) g.Person(people);
+
+  NodeId open = tree->AddChild(site, "open_auctions");
+  for (uint64_t i = 0; i < open_auctions; ++i) g.OpenAuction(open);
+
+  NodeId closed = tree->AddChild(site, "closed_auctions");
+  for (uint64_t i = 0; i < closed_auctions; ++i) g.ClosedAuction(closed);
+
+  return Status::OK();
+}
+
+std::vector<TagJoinSpec> XmarkJoins() {
+  return {
+      {"B1", "person", "zipcode"},          // small-ish D under many A
+      {"B2", "open_auction", "bidder"},     // 1:n structural join
+      {"B3", "site", "item"},               // |A| = 1 (the root)
+      {"B4", "person", "profile"},          // ~1:0.7
+      {"B5", "category", "keyword"},        // small A, small D
+      {"B6", "closed_auction", "bold"},     // rare descendants
+      {"B7", "closed_auction", "price"},    // exact 1:1
+      {"B8", "item", "keyword"},            // self-scale join
+      {"B9", "description", "keyword"},     // deep recursive tags
+      {"B10", "open_auction", "date"},      // large mixed D
+  };
+}
+
+}  // namespace pbitree

@@ -1,0 +1,43 @@
+#ifndef PBITREE_DATAGEN_XMARK_GEN_H_
+#define PBITREE_DATAGEN_XMARK_GEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/tag_join.h"
+#include "xml/data_tree.h"
+
+namespace pbitree {
+
+/// \brief Options for the XMark-like auction-site generator.
+///
+/// The paper evaluates on the XML Benchmark Project data [18] at
+/// SF = 1 (113 MB of text). The original xmlgen tool is not
+/// redistributable here, so this module regenerates the same document
+/// *shape* from scratch: the auction-site schema (site / regions /
+/// items / people / open_auctions / closed_auctions / categories) with
+/// XMark's SF = 1 cardinalities (21750 items, 25500 persons, 12000
+/// open auctions, 9750 closed auctions, 1000 categories) scaled by
+/// `scale_factor`, including the nested description markup
+/// (parlist / listitem / text / keyword / emph / bold) that gives the
+/// deep, recursive element distribution the B-queries join over.
+struct XmarkOptions {
+  double scale_factor = 1.0;
+  uint64_t seed = 7;
+  /// Attach short character data to text-bearing elements (off for the
+  /// joins-only benchmarks: structure is all they need).
+  bool with_text = false;
+};
+
+/// Generates the document into `tree` (which must be empty).
+Status GenerateXmark(DataTree* tree, const XmarkOptions& options);
+
+/// The ten BENCHMARK containment joins B1-B10 (Table 2(c)). The exact
+/// Wisconsin decompositions are not public; these tag pairs reproduce
+/// the cardinality profile of the table (|A|, |D| and result bands),
+/// which is what drives the algorithms' relative performance.
+std::vector<TagJoinSpec> XmarkJoins();
+
+}  // namespace pbitree
+
+#endif  // PBITREE_DATAGEN_XMARK_GEN_H_

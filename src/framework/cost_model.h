@@ -1,0 +1,63 @@
+#ifndef PBITREE_FRAMEWORK_COST_MODEL_H_
+#define PBITREE_FRAMEWORK_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "framework/planner.h"
+#include "join/element_set.h"
+
+namespace pbitree {
+
+/// \brief Inputs of the analytical I/O cost model (Section 3.4.1 of
+/// the paper, plus its Section 6 outlook: "we are working on a
+/// cost-based query optimizer that is aware of all the above-mentioned
+/// algorithms").
+///
+/// Costs are in page I/Os. Sorting and index builds are charged to the
+/// algorithms that need them and do not have them (the naive mode of
+/// the experiments); pre-existing access paths zero those terms.
+struct CostInputs {
+  uint64_t a_pages = 0;
+  uint64_t d_pages = 0;
+  uint64_t a_records = 0;
+  uint64_t d_records = 0;
+  int a_num_heights = 1;
+  bool a_sorted = false;
+  bool d_sorted = false;
+  bool have_d_code_index = false;
+  bool have_a_interval_index = false;
+  bool have_start_indexes = false;  // the ADB+ pair
+  uint64_t work_pages = 500;        // the paper's b
+
+  /// Convenience constructor from two element sets.
+  static CostInputs FromSets(const ElementSet& a, const ElementSet& d,
+                             uint64_t work_pages);
+};
+
+/// External-sort cost of a file: 2 * pages * (1 + merge passes).
+uint64_t SortCostPages(uint64_t pages, uint64_t work_pages);
+
+/// Estimated page I/O of running `alg` on the given inputs. Estimates
+/// follow the paper's formulas:
+///  - SHCJ / MHCJ+Rollup: ||A||+||D|| in memory, else 3(||A||+||D||);
+///  - MHCJ: 5||A|| + 3k||D|| for k height partitions (with the same
+///    in-memory discount per partition);
+///  - VPJ: 3(||A||+||D||) (+ nothing for the common non-recursive
+///    case);
+///  - STACKTREE / MPMGJN: ||A||+||D|| plus sort costs when unsorted;
+///  - INLJN: min over the two probe directions of outer scan + probes,
+///    plus sort + build when the inner index is missing;
+///  - ADB+: scan of both leaf levels plus sort + build costs when the
+///    Start indexes are missing.
+uint64_t EstimateJoinIO(Algorithm alg, const CostInputs& in);
+
+/// Cost-based algorithm selection: evaluates every applicable
+/// algorithm under the model and returns the cheapest — the Section 6
+/// optimizer made concrete. Falls back to the Table 1 rule when two
+/// candidates tie.
+Algorithm ChooseAlgorithmCostBased(const CostInputs& in,
+                                   bool ancestor_single_height);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_FRAMEWORK_COST_MODEL_H_

@@ -1,0 +1,37 @@
+#include "framework/planner.h"
+
+namespace pbitree {
+
+const char* AlgorithmName(Algorithm alg) {
+  switch (alg) {
+    case Algorithm::kShcj:
+      return "SHCJ";
+    case Algorithm::kMhcj:
+      return "MHCJ";
+    case Algorithm::kMhcjRollup:
+      return "MHCJ+Rollup";
+    case Algorithm::kVpj:
+      return "VPJ";
+    case Algorithm::kInljn:
+      return "INLJN";
+    case Algorithm::kStackTree:
+      return "STACKTREE";
+    case Algorithm::kMpmgjn:
+      return "MPMGJN";
+    case Algorithm::kAdb:
+      return "ADB+";
+  }
+  return "?";
+}
+
+Algorithm ChooseAlgorithm(const InputProperties& a, const InputProperties& d,
+                          bool ancestor_single_height) {
+  const bool indexed = a.indexed && d.indexed;
+  const bool sorted = a.sorted && d.sorted;
+  if (indexed && sorted) return Algorithm::kAdb;
+  if (indexed) return Algorithm::kInljn;
+  if (sorted) return Algorithm::kStackTree;
+  return ancestor_single_height ? Algorithm::kShcj : Algorithm::kVpj;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,257 @@
+#include "framework/runner.h"
+
+#include <optional>
+
+#include "common/timer.h"
+#include "join/adb.h"
+#include "join/inljn.h"
+#include "join/mhcj.h"
+#include "join/mpmgjn.h"
+#include "join/shcj.h"
+#include "join/stack_tree.h"
+#include "sort/external_sort.h"
+
+namespace pbitree {
+
+namespace {
+
+/// Sorted-by-Start copy of a set; the temp file must be dropped by the
+/// caller. Sort time is charged to stats->sort_seconds.
+Result<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
+                              size_t work_pages, JoinStats* stats) {
+  Timer t;
+  PBITREE_ASSIGN_OR_RETURN(
+      HeapFile sorted,
+      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder));
+  stats->sort_seconds += t.ElapsedSeconds();
+  ElementSet out = in;
+  out.file = sorted;
+  out.sorted_by_start = true;
+  return out;
+}
+
+/// Builds a B+-tree over `in` keyed by `kind`, sorting a temporary copy
+/// first (bulk load needs key order). Charged to index_build_seconds.
+Result<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
+                                  KeyKind kind, size_t work_pages,
+                                  JoinStats* stats) {
+  Timer t;
+  SortOrder order =
+      kind == KeyKind::kCode ? SortOrder::kCodeOrder : SortOrder::kStartOrder;
+  PBITREE_ASSIGN_OR_RETURN(HeapFile sorted,
+                           ExternalSort(bm, in.file, work_pages, order));
+  auto built = BPTree::BulkLoad(bm, sorted, kind);
+  Status drop = sorted.Drop(bm);
+  stats->index_build_seconds += t.ElapsedSeconds();
+  if (!built.ok()) return built.status();
+  PBITREE_RETURN_IF_ERROR(drop);
+  return built;
+}
+
+Result<IntervalIndex> BuildIntervalIndexOnTheFly(BufferManager* bm,
+                                                 const ElementSet& in,
+                                                 size_t work_pages,
+                                                 JoinStats* stats) {
+  Timer t;
+  PBITREE_ASSIGN_OR_RETURN(
+      HeapFile sorted,
+      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder));
+  auto built = IntervalIndex::BulkLoad(bm, sorted);
+  Status drop = sorted.Drop(bm);
+  stats->index_build_seconds += t.ElapsedSeconds();
+  if (!built.ok()) return built.status();
+  PBITREE_RETURN_IF_ERROR(drop);
+  return built;
+}
+
+/// Dispatches to the algorithm, creating any missing prerequisite.
+Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
+                const ElementSet& d, ResultSink* sink,
+                const RunOptions& options) {
+  BufferManager* bm = ctx->bm;
+  switch (alg) {
+    case Algorithm::kShcj:
+      return Shcj(ctx, a, d, sink);
+    case Algorithm::kMhcj:
+      return Mhcj(ctx, a, d, sink);
+    case Algorithm::kMhcjRollup:
+      return MhcjRollup(ctx, a, d, sink, options.rollup_policy);
+    case Algorithm::kVpj:
+      return Vpj(ctx, a, d, sink, options.vpj);
+
+    case Algorithm::kStackTree:
+    case Algorithm::kMpmgjn: {
+      ElementSet sa = a, sd = d;
+      std::optional<ElementSet> tmp_a, tmp_d;
+      if (!sa.sorted_by_start) {
+        PBITREE_ASSIGN_OR_RETURN(
+            sa, SortedCopy(bm, a, ctx->work_pages, &ctx->stats));
+        tmp_a = sa;
+      }
+      if (!sd.sorted_by_start) {
+        PBITREE_ASSIGN_OR_RETURN(
+            sd, SortedCopy(bm, d, ctx->work_pages, &ctx->stats));
+        tmp_d = sd;
+      }
+      Status st = alg == Algorithm::kStackTree
+                      ? StackTreeJoin(ctx, sa, sd, sink)
+                      : Mpmgjn(ctx, sa, sd, sink);
+      if (tmp_a.has_value()) {
+        Status s = tmp_a->file.Drop(bm);
+        if (st.ok()) st = s;
+      }
+      if (tmp_d.has_value()) {
+        Status s = tmp_d->file.Drop(bm);
+        if (st.ok()) st = s;
+      }
+      return st;
+    }
+
+    case Algorithm::kInljn: {
+      InljnIndexes idx;
+      idx.d_code_index = options.d_code_index;
+      idx.a_interval_index = options.a_interval_index;
+      if (idx.d_code_index != nullptr || idx.a_interval_index != nullptr) {
+        return Inljn(ctx, a, d, idx, sink);
+      }
+      // Naive mode: build the index on the side the paper's heuristic
+      // makes the inner one (the larger set's index is probed, so the
+      // smaller set stays the outer scan).
+      if (a.num_records() <= d.num_records()) {
+        PBITREE_ASSIGN_OR_RETURN(
+            BPTree d_index, BuildIndexOnTheFly(bm, d, KeyKind::kCode,
+                                               ctx->work_pages, &ctx->stats));
+        idx.d_code_index = &d_index;
+        Status st = Inljn(ctx, a, d, idx, sink);
+        Status drop = d_index.Drop(bm);
+        PBITREE_RETURN_IF_ERROR(st);
+        return drop;
+      }
+      PBITREE_ASSIGN_OR_RETURN(
+          IntervalIndex a_index,
+          BuildIntervalIndexOnTheFly(bm, a, ctx->work_pages, &ctx->stats));
+      idx.a_interval_index = &a_index;
+      Status st = Inljn(ctx, a, d, idx, sink);
+      Status drop = a_index.Drop(bm);
+      PBITREE_RETURN_IF_ERROR(st);
+      return drop;
+    }
+
+    case Algorithm::kAdb: {
+      const BPTree* a_idx = options.a_start_index;
+      const BPTree* d_idx = options.d_start_index;
+      std::optional<BPTree> tmp_a, tmp_d;
+      if (a_idx == nullptr) {
+        PBITREE_ASSIGN_OR_RETURN(
+            BPTree built, BuildIndexOnTheFly(bm, a, KeyKind::kStart,
+                                             ctx->work_pages, &ctx->stats));
+        tmp_a = built;
+        a_idx = &tmp_a.value();
+      }
+      if (d_idx == nullptr) {
+        PBITREE_ASSIGN_OR_RETURN(
+            BPTree built, BuildIndexOnTheFly(bm, d, KeyKind::kStart,
+                                             ctx->work_pages, &ctx->stats));
+        tmp_d = built;
+        d_idx = &tmp_d.value();
+      }
+      Status st = AdbJoin(ctx, a, d, *a_idx, *d_idx, sink);
+      if (tmp_a.has_value()) {
+        Status s = tmp_a->Drop(bm);
+        if (st.ok()) st = s;
+      }
+      if (tmp_d.has_value()) {
+        Status s = tmp_d->Drop(bm);
+        if (st.ok()) st = s;
+      }
+      return st;
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace
+
+Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
+                          const ElementSet& a, const ElementSet& d,
+                          ResultSink* sink, const RunOptions& options) {
+  if (options.work_pages < 3) {
+    return Status::InvalidArgument("work_pages must be >= 3");
+  }
+  RunResult result;
+  result.algorithm = alg;
+
+  if (options.cold_cache) {
+    PBITREE_RETURN_IF_ERROR(bm->PurgeAll());
+  }
+  DiskStats before = bm->disk()->stats();
+  Timer timer;
+
+  JoinContext ctx(bm, options.work_pages);
+  PBITREE_RETURN_IF_ERROR(Dispatch(alg, &ctx, a, d, sink, options));
+  // Force dirty pages out so writes are charged to this run.
+  PBITREE_RETURN_IF_ERROR(bm->FlushAll());
+
+  result.wall_seconds = timer.ElapsedSeconds();
+  DiskStats after = bm->disk()->stats();
+  result.page_reads = after.page_reads - before.page_reads;
+  result.page_writes = after.page_writes - before.page_writes;
+  result.stats = ctx.stats;
+  result.output_pairs = ctx.stats.output_pairs;
+  result.simulated_seconds =
+      result.wall_seconds +
+      options.simulated_io_ms * 1e-3 * (result.page_reads + result.page_writes);
+  return result;
+}
+
+const RunResult& MinRgnResult::best() const {
+  const RunResult* b = &inljn;
+  if (stacktree.simulated_seconds < b->simulated_seconds) b = &stacktree;
+  if (adb.simulated_seconds < b->simulated_seconds) b = &adb;
+  return *b;
+}
+
+Result<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
+                               const ElementSet& d, const RunOptions& options) {
+  MinRgnResult out;
+  {
+    CountingSink sink;
+    PBITREE_ASSIGN_OR_RETURN(
+        out.inljn, RunJoin(Algorithm::kInljn, bm, a, d, &sink, options));
+  }
+  {
+    CountingSink sink;
+    PBITREE_ASSIGN_OR_RETURN(
+        out.stacktree, RunJoin(Algorithm::kStackTree, bm, a, d, &sink, options));
+  }
+  {
+    CountingSink sink;
+    PBITREE_ASSIGN_OR_RETURN(out.adb,
+                             RunJoin(Algorithm::kAdb, bm, a, d, &sink, options));
+  }
+  return out;
+}
+
+Result<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
+                          const ElementSet& d, ResultSink* sink,
+                          const RunOptions& options) {
+  InputProperties pa, pd;
+  pa.sorted = a.sorted_by_start;
+  pd.sorted = d.sorted_by_start;
+  pa.indexed = options.a_interval_index != nullptr ||
+               options.a_start_index != nullptr;
+  pd.indexed = options.d_code_index != nullptr ||
+               options.d_start_index != nullptr;
+  // ADB+ needs Start-keyed trees specifically.
+  if (options.a_start_index == nullptr || options.d_start_index == nullptr) {
+    if (pa.indexed && pd.indexed && (pa.sorted && pd.sorted)) {
+      // Fall back from ADB+ to INLJN when only the INLJN-style indexes
+      // exist.
+      pa.sorted = pd.sorted = false;
+    }
+  }
+  Algorithm alg = ChooseAlgorithm(pa, pd, a.SingleHeight());
+  return RunJoin(alg, bm, a, d, sink, options);
+}
+
+}  // namespace pbitree

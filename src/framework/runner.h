@@ -1,0 +1,94 @@
+#ifndef PBITREE_FRAMEWORK_RUNNER_H_
+#define PBITREE_FRAMEWORK_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "framework/planner.h"
+#include "index/bptree.h"
+#include "index/interval_index.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/mhcj_rollup.h"
+#include "join/result_sink.h"
+#include "join/vpj.h"
+
+namespace pbitree {
+
+/// \brief Configuration for one measured join execution.
+struct RunOptions {
+  /// The paper's b: buffer pages the algorithm may use for working
+  /// storage. Must not exceed the buffer pool size.
+  size_t work_pages = 500;
+
+  /// Per-page simulated disk latency in milliseconds, added to the wall
+  /// time to produce `simulated_seconds`. The paper's numbers are
+  /// disk-bound on 2002 hardware; counted page I/O times a fixed
+  /// latency reproduces that regime machine-independently. 0 disables.
+  double simulated_io_ms = 0.0;
+
+  /// Purge the buffer pool before the run (cold cache), reproducing the
+  /// paper's raw-disk protocol where no algorithm benefits from pages a
+  /// previous run left behind. Benchmarks enable this.
+  bool cold_cache = false;
+
+  /// Pre-existing access paths. When the algorithm needs one that is
+  /// missing, the runner builds it on the fly (the "naive" mode whose
+  /// cost the experiments charge to the region-based algorithms) and
+  /// records the build time in the stats.
+  const BPTree* d_code_index = nullptr;
+  const IntervalIndex* a_interval_index = nullptr;
+  const BPTree* a_start_index = nullptr;
+  const BPTree* d_start_index = nullptr;
+
+  RollupHeightPolicy rollup_policy = RollupHeightPolicy::kMax;
+  VpjOptions vpj;
+};
+
+/// \brief Measured outcome of one join execution.
+struct RunResult {
+  Algorithm algorithm = Algorithm::kShcj;
+  JoinStats stats;
+  uint64_t output_pairs = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  double wall_seconds = 0.0;
+  /// wall_seconds + simulated_io_ms * (reads + writes) / 1000.
+  double simulated_seconds = 0.0;
+
+  uint64_t TotalIO() const { return page_reads + page_writes; }
+};
+
+/// \brief Runs `alg` on (a, d), materialising any missing prerequisite
+/// (sorted copy, index) on the fly and charging it to the measurement —
+/// exactly the experimental protocol of Section 4.
+///
+/// I/O counts are DiskManager deltas over the call; wall time includes
+/// preparation. Temporary files and indexes are dropped before return.
+Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
+                          const ElementSet& a, const ElementSet& d,
+                          ResultSink* sink, const RunOptions& options);
+
+/// \brief The paper's MIN_RGN: runs INLJN, STACKTREE and ADB+ (each in
+/// naive on-the-fly mode) and reports all three plus the best.
+struct MinRgnResult {
+  RunResult inljn;
+  RunResult stacktree;
+  RunResult adb;
+  /// The minimum by simulated time — what Table 2(e) calls MIN_RGN.
+  const RunResult& best() const;
+};
+
+Result<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
+                               const ElementSet& d, const RunOptions& options);
+
+/// Framework entry point: picks the algorithm per Table 1 from the sets'
+/// metadata and the indexes present in `options`, then runs it.
+Result<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
+                          const ElementSet& d, ResultSink* sink,
+                          const RunOptions& options);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_FRAMEWORK_RUNNER_H_

@@ -1,0 +1,361 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "join/spatial_join.h"
+
+namespace pbitree {
+
+namespace {
+
+bool NodeIsLeaf(const Page* p) { return p->data()[0] == 1; }
+void SetNodeLeaf(Page* p, bool leaf) { p->data()[0] = leaf ? 1 : 0; }
+uint16_t NodeCount(const Page* p) {
+  uint16_t v;
+  std::memcpy(&v, p->data() + 2, 2);
+  return v;
+}
+void SetNodeCount(Page* p, uint16_t v) { std::memcpy(p->data() + 2, &v, 2); }
+
+constexpr size_t kLeafEntrySize = 16;
+void LeafRead(const Page* p, size_t i, ElementRecord* rec) {
+  std::memcpy(rec, p->data() + 8 + i * kLeafEntrySize, sizeof(ElementRecord));
+}
+void LeafWrite(Page* p, size_t i, const ElementRecord& rec) {
+  std::memcpy(p->data() + 8 + i * kLeafEntrySize, &rec, sizeof(ElementRecord));
+}
+
+constexpr size_t kInteriorEntrySize = 36;
+struct InteriorEntry {
+  RTree::Mbr mbr;
+  PageId child;
+};
+InteriorEntry ReadInterior(const Page* p, size_t i) {
+  InteriorEntry e;
+  const char* at = p->data() + 8 + i * kInteriorEntrySize;
+  std::memcpy(&e.mbr.min_x, at, 8);
+  std::memcpy(&e.mbr.max_x, at + 8, 8);
+  std::memcpy(&e.mbr.min_y, at + 16, 8);
+  std::memcpy(&e.mbr.max_y, at + 24, 8);
+  std::memcpy(&e.child, at + 32, 4);
+  return e;
+}
+void WriteInterior(Page* p, size_t i, const InteriorEntry& e) {
+  char* at = p->data() + 8 + i * kInteriorEntrySize;
+  std::memcpy(at, &e.mbr.min_x, 8);
+  std::memcpy(at + 8, &e.mbr.max_x, 8);
+  std::memcpy(at + 16, &e.mbr.min_y, 8);
+  std::memcpy(at + 24, &e.mbr.max_y, 8);
+  std::memcpy(at + 32, &e.child, 4);
+}
+
+/// Window intersection test on an MBR.
+bool MbrIntersectsWindow(const RTree::Mbr& m, uint64_t x_lo, uint64_t x_hi,
+                         uint64_t y_lo, uint64_t y_hi) {
+  return m.min_x <= x_hi && m.max_x >= x_lo && m.min_y <= y_hi &&
+         m.max_y >= y_lo;
+}
+
+}  // namespace
+
+Result<RTree> RTree::BulkLoad(BufferManager* bm, const HeapFile& input) {
+  // ---- Load points and STR-sort them.
+  std::vector<ElementRecord> recs;
+  recs.reserve(input.num_records());
+  {
+    HeapFile::Scanner scan(bm, input);
+    ElementRecord rec;
+    Status st;
+    while (scan.NextElement(&rec, &st)) recs.push_back(rec);
+    PBITREE_RETURN_IF_ERROR(st);
+  }
+
+  RTree t;
+  if (recs.empty()) {
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm->NewPage());
+    SetNodeLeaf(p, true);
+    SetNodeCount(p, 0);
+    t.root_ = p->page_id();
+    t.num_pages_ = 1;
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(p->page_id(), true));
+    return t;
+  }
+
+  // STR: sort by x (Start), slice into sqrt(L) vertical strips, sort
+  // each strip by y (End), pack leaves of kLeafCapacity.
+  std::sort(recs.begin(), recs.end(),
+            [](const ElementRecord& a, const ElementRecord& b) {
+              return StartOf(a.code) < StartOf(b.code);
+            });
+  const uint64_t num_leaves =
+      (recs.size() + kLeafCapacity - 1) / kLeafCapacity;
+  const uint64_t strips = static_cast<uint64_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const uint64_t strip_size =
+      (recs.size() + strips - 1) / strips;
+  for (uint64_t s = 0; s < strips; ++s) {
+    size_t lo = s * strip_size;
+    if (lo >= recs.size()) break;
+    size_t hi = std::min(recs.size(), lo + strip_size);
+    std::sort(recs.begin() + lo, recs.begin() + hi,
+              [](const ElementRecord& a, const ElementRecord& b) {
+                return EndOf(a.code) < EndOf(b.code);
+              });
+  }
+
+  // ---- Pack leaves.
+  struct LevelEntry {
+    Mbr mbr;
+    PageId pid;
+  };
+  std::vector<LevelEntry> level;
+  for (size_t i = 0; i < recs.size(); i += kLeafCapacity) {
+    size_t n = std::min(kLeafCapacity, recs.size() - i);
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm->NewPage());
+    SetNodeLeaf(p, true);
+    SetNodeCount(p, static_cast<uint16_t>(n));
+    Mbr mbr;
+    for (size_t j = 0; j < n; ++j) {
+      LeafWrite(p, j, recs[i + j]);
+      mbr.Extend(StartOf(recs[i + j].code), EndOf(recs[i + j].code));
+    }
+    level.push_back({mbr, p->page_id()});
+    ++t.num_pages_;
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(p->page_id(), true));
+  }
+  t.num_entries_ = recs.size();
+
+  // ---- Build interior levels.
+  t.height_ = 1;
+  while (level.size() > 1) {
+    std::vector<LevelEntry> parent;
+    for (size_t i = 0; i < level.size(); i += kInteriorCapacity) {
+      size_t n = std::min(kInteriorCapacity, level.size() - i);
+      PBITREE_ASSIGN_OR_RETURN(Page * p, bm->NewPage());
+      SetNodeLeaf(p, false);
+      SetNodeCount(p, static_cast<uint16_t>(n));
+      Mbr mbr;
+      for (size_t j = 0; j < n; ++j) {
+        WriteInterior(p, j, {level[i + j].mbr, level[i + j].pid});
+        mbr.Extend(level[i + j].mbr);
+      }
+      parent.push_back({mbr, p->page_id()});
+      ++t.num_pages_;
+      PBITREE_RETURN_IF_ERROR(bm->UnpinPage(p->page_id(), true));
+    }
+    level = std::move(parent);
+    ++t.height_;
+  }
+  t.root_ = level[0].pid;
+  return t;
+}
+
+Status RTree::Window(
+    BufferManager* bm, uint64_t x_lo, uint64_t x_hi, uint64_t y_lo,
+    uint64_t y_hi,
+    const std::function<void(const ElementRecord&)>& emit) const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId pid = stack.back();
+    stack.pop_back();
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(pid));
+    uint16_t n = NodeCount(p);
+    if (NodeIsLeaf(p)) {
+      for (size_t i = 0; i < n; ++i) {
+        ElementRecord rec;
+        LeafRead(p, i, &rec);
+        uint64_t x = StartOf(rec.code), y = EndOf(rec.code);
+        if (x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi) emit(rec);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        InteriorEntry e = ReadInterior(p, i);
+        if (MbrIntersectsWindow(e.mbr, x_lo, x_hi, y_lo, y_hi)) {
+          stack.push_back(e.child);
+        }
+      }
+    }
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(pid, false));
+  }
+  return Status::OK();
+}
+
+Status RTree::AncestorsOf(
+    BufferManager* bm, Code d,
+    const std::function<void(const ElementRecord&)>& emit) const {
+  // Second quadrant relative to d: Start <= Start(d), End >= End(d).
+  return Window(bm, 0, StartOf(d), EndOf(d), UINT64_MAX,
+                [&](const ElementRecord& rec) {
+                  if (IsAncestor(rec.code, d)) emit(rec);
+                });
+}
+
+Status RTree::DescendantsOf(
+    BufferManager* bm, Code a,
+    const std::function<void(const ElementRecord&)>& emit) const {
+  return Window(bm, StartOf(a), UINT64_MAX, 0, EndOf(a),
+                [&](const ElementRecord& rec) {
+                  if (IsAncestor(a, rec.code)) emit(rec);
+                });
+}
+
+Status RTree::Drop(BufferManager* bm) {
+  if (root_ == kInvalidPageId) return Status::OK();
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId pid = stack.back();
+    stack.pop_back();
+    {
+      PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(pid));
+      if (!NodeIsLeaf(p)) {
+        for (size_t i = 0; i < NodeCount(p); ++i) {
+          stack.push_back(ReadInterior(p, i).child);
+        }
+      }
+      PBITREE_RETURN_IF_ERROR(bm->UnpinPage(pid, false));
+    }
+    PBITREE_RETURN_IF_ERROR(bm->DeletePage(pid));
+  }
+  root_ = kInvalidPageId;
+  num_entries_ = 0;
+  num_pages_ = 0;
+  height_ = 1;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Spatial joins (declared in join/spatial_join.h; implemented here to
+// share the node accessors).
+
+Status RTreeProbeJoin(JoinContext* ctx, const ElementSet& a,
+                      const ElementSet& d, const RTree* a_tree,
+                      const RTree* d_tree, ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("spatial join: inputs from different PBiTrees");
+  }
+  const bool can_probe_d = d_tree != nullptr && d_tree->valid();
+  const bool can_probe_a = a_tree != nullptr && a_tree->valid();
+  if (!can_probe_d && !can_probe_a) {
+    return Status::InvalidArgument("RTreeProbeJoin needs at least one R-tree");
+  }
+  bool outer_a;
+  if (can_probe_d && can_probe_a) {
+    outer_a = a.num_records() <= d.num_records();
+  } else {
+    outer_a = can_probe_d;
+  }
+
+  Status emit_status;
+  if (outer_a) {
+    HeapFile::Scanner scan(ctx->bm, a.file);
+    ElementRecord rec;
+    Status st;
+    while (scan.NextElement(&rec, &st)) {
+      ++ctx->stats.index_probes;
+      PBITREE_RETURN_IF_ERROR(d_tree->DescendantsOf(
+          ctx->bm, rec.code, [&](const ElementRecord& d_rec) {
+            ++ctx->stats.output_pairs;
+            Status s = sink->OnPair(rec.code, d_rec.code);
+            if (!s.ok() && emit_status.ok()) emit_status = s;
+          }));
+      PBITREE_RETURN_IF_ERROR(emit_status);
+    }
+    return st;
+  }
+  HeapFile::Scanner scan(ctx->bm, d.file);
+  ElementRecord rec;
+  Status st;
+  while (scan.NextElement(&rec, &st)) {
+    ++ctx->stats.index_probes;
+    PBITREE_RETURN_IF_ERROR(a_tree->AncestorsOf(
+        ctx->bm, rec.code, [&](const ElementRecord& a_rec) {
+          ++ctx->stats.output_pairs;
+          Status s = sink->OnPair(a_rec.code, rec.code);
+          if (!s.ok() && emit_status.ok()) emit_status = s;
+        }));
+    PBITREE_RETURN_IF_ERROR(emit_status);
+  }
+  return st;
+}
+
+Status RTreeSyncJoin(JoinContext* ctx, const RTree& a_tree, const RTree& d_tree,
+                     ResultSink* sink) {
+  if (!a_tree.valid() || !d_tree.valid()) {
+    return Status::InvalidArgument("RTreeSyncJoin needs two valid R-trees");
+  }
+  // Pair pruning for the containment predicate a.x <= d.x && a.y >= d.y:
+  // a node pair can produce results only if min over A of x <= max over
+  // D of x and max over A of y >= min over D of y.
+  auto compatible = [](const RTree::Mbr& ma, const RTree::Mbr& md) {
+    return ma.min_x <= md.max_x && ma.max_y >= md.min_y;
+  };
+
+  struct PairTask {
+    PageId a_pid;
+    PageId d_pid;
+  };
+  std::vector<PairTask> stack = {{a_tree.root(), d_tree.root()}};
+
+  while (!stack.empty()) {
+    PairTask task = stack.back();
+    stack.pop_back();
+    PBITREE_ASSIGN_OR_RETURN(Page * pa, ctx->bm->FetchPage(task.a_pid));
+    auto fetch_d = ctx->bm->FetchPage(task.d_pid);
+    if (!fetch_d.ok()) {
+      ctx->bm->UnpinPage(task.a_pid, false);
+      return fetch_d.status();
+    }
+    Page* pd = fetch_d.value();
+    Status st = Status::OK();
+
+    const bool a_leaf = NodeIsLeaf(pa);
+    const bool d_leaf = NodeIsLeaf(pd);
+    const uint16_t na = NodeCount(pa), nd = NodeCount(pd);
+
+    if (a_leaf && d_leaf) {
+      for (size_t i = 0; i < na && st.ok(); ++i) {
+        ElementRecord ra;
+        LeafRead(pa, i, &ra);
+        for (size_t j = 0; j < nd && st.ok(); ++j) {
+          ElementRecord rd;
+          LeafRead(pd, j, &rd);
+          if (IsAncestor(ra.code, rd.code)) {
+            ++ctx->stats.output_pairs;
+            st = sink->OnPair(ra.code, rd.code);
+          }
+        }
+      }
+    } else if (a_leaf) {
+      for (size_t j = 0; j < nd; ++j) {
+        InteriorEntry ed = ReadInterior(pd, j);
+        stack.push_back({task.a_pid, ed.child});
+      }
+    } else if (d_leaf) {
+      for (size_t i = 0; i < na; ++i) {
+        InteriorEntry ea = ReadInterior(pa, i);
+        stack.push_back({ea.child, task.d_pid});
+      }
+    } else {
+      for (size_t i = 0; i < na; ++i) {
+        InteriorEntry ea = ReadInterior(pa, i);
+        for (size_t j = 0; j < nd; ++j) {
+          InteriorEntry ed = ReadInterior(pd, j);
+          if (compatible(ea.mbr, ed.mbr)) stack.push_back({ea.child, ed.child});
+        }
+      }
+    }
+    Status ua = ctx->bm->UnpinPage(task.a_pid, false);
+    Status ud = ctx->bm->UnpinPage(task.d_pid, false);
+    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(ua);
+    PBITREE_RETURN_IF_ERROR(ud);
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

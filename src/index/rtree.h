@@ -1,0 +1,94 @@
+#ifndef PBITREE_INDEX_RTREE_H_
+#define PBITREE_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "pbitree/code.h"
+#include "storage/buffer_manager.h"
+#include "storage/heap_file.h"
+
+namespace pbitree {
+
+/// \brief Disk R-tree over elements viewed as 2-D points (Start, End) —
+/// the spatial interpretation of region codes discussed in Section 5 of
+/// the paper ([5]: a contains d iff a lies in the second quadrant with
+/// d as origin; [16] proposed R-trees for XML query optimization, and
+/// Anc_Des_B+ [4] names R-trees as an alternative index).
+///
+/// Built statically with Sort-Tile-Recursive (STR) packing. Supports
+/// the two quadrant queries containment joins need:
+///  - AncestorsOf(d): points with Start <= Start(d) and End >= End(d);
+///  - DescendantsOf(a): points with Start >= Start(a) and End <= End(a);
+/// both exclude the query element itself via the exact Lemma-1 check at
+/// the caller. Node layout (4 KiB):
+///  - byte 0: 1 = leaf; bytes 2-3: entry count.
+///  - leaf entries at byte 8: ElementRecord (16 B; the point is derived
+///    from the code) — 255 per leaf.
+///  - interior entries at byte 8: MBR (4 x u64) + child u32 = 36 B —
+///    113 per node.
+class RTree {
+ public:
+  static constexpr size_t kLeafCapacity = (kPageSize - 8) / 16;      // 255
+  static constexpr size_t kInteriorCapacity = (kPageSize - 8) / 36;  // 113
+
+  /// Minimum bounding rectangle in (Start, End) space.
+  struct Mbr {
+    uint64_t min_x = UINT64_MAX;  // min Start
+    uint64_t max_x = 0;           // max Start
+    uint64_t min_y = UINT64_MAX;  // min End
+    uint64_t max_y = 0;           // max End
+
+    void Extend(uint64_t x, uint64_t y) {
+      if (x < min_x) min_x = x;
+      if (x > max_x) max_x = x;
+      if (y < min_y) min_y = y;
+      if (y > max_y) max_y = y;
+    }
+    void Extend(const Mbr& o) {
+      Extend(o.min_x, o.min_y);
+      Extend(o.max_x, o.max_y);
+    }
+  };
+
+  RTree() = default;
+
+  /// Bulk loads with STR packing. The input need not be sorted (the
+  /// loader sorts in memory; element sets up to tens of millions fit).
+  static Result<RTree> BulkLoad(BufferManager* bm, const HeapFile& input);
+
+  bool valid() const { return root_ != kInvalidPageId; }
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_pages() const { return num_pages_; }
+  int tree_height() const { return height_; }
+  PageId root() const { return root_; }
+
+  /// Emits every indexed element that is a *proper ancestor* of the
+  /// node coded `d` (quadrant query Start <= Start(d), End >= End(d),
+  /// filtered with Lemma 1).
+  Status AncestorsOf(BufferManager* bm, Code d,
+                     const std::function<void(const ElementRecord&)>& emit) const;
+
+  /// Emits every indexed element that is a proper descendant of `a`.
+  Status DescendantsOf(BufferManager* bm, Code a,
+                       const std::function<void(const ElementRecord&)>& emit) const;
+
+  /// General window query: Start in [x_lo, x_hi], End in [y_lo, y_hi].
+  Status Window(BufferManager* bm, uint64_t x_lo, uint64_t x_hi, uint64_t y_lo,
+                uint64_t y_hi,
+                const std::function<void(const ElementRecord&)>& emit) const;
+
+  /// Frees every page.
+  Status Drop(BufferManager* bm);
+
+ private:
+  PageId root_ = kInvalidPageId;
+  uint64_t num_entries_ = 0;
+  uint64_t num_pages_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_INDEX_RTREE_H_

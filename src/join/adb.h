@@ -1,0 +1,34 @@
+#ifndef PBITREE_JOIN_ADB_H_
+#define PBITREE_JOIN_ADB_H_
+
+#include "common/status.h"
+#include "index/bptree.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief Anc_Des_B+ (Chien et al., VLDB'02): a stack-tree join that
+/// uses B+-tree indexes on both inputs to skip elements that cannot
+/// participate in the join.
+///
+/// Both inputs are consumed through Start-keyed B+-trees (the leaf
+/// chains provide the document-order scan), so the heap files need not
+/// be sorted. Whenever the ancestor stack is empty the cursors leap:
+///  - descendant skip: if d.Start < a.Start, no remaining ancestor can
+///    contain d, so seek D to the first entry with Start >= a.Start;
+///  - ancestor skip: if End(a) < Start(d), every a' with
+///    Start(a') < Start(d) - Lmax is dead, where Lmax = 2^(hmax+1) - 2
+///    is the widest region length in A (hmax from the height mask) —
+///    a conservative bound that is exact for single-height A, the
+///    shape the original algorithm targets.
+/// Worst-case I/O stays O(||A|| + ||D||); on low-selectivity inputs the
+/// skips touch far fewer pages.
+Status AdbJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+               const BPTree& a_start_index, const BPTree& d_start_index,
+               ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_ADB_H_

@@ -1,0 +1,212 @@
+#include "join/hash_equijoin.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace pbitree {
+
+namespace {
+
+/// splitmix64 finaliser, salted per recursion depth so that re-partitioning
+/// a skewed partition re-shuffles the keys.
+uint64_t HashKey(uint64_t key, int salt) {
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Rolled join key of an element for target height `h`. For an element
+/// already at height h this is its own code (F(n, height(n)) = n).
+uint64_t RolledKey(Code code, int h) { return AncestorAtHeight(code, h); }
+
+/// Emits one rolled-key match under the given mode. Returns OK and
+/// bumps the right counter.
+Status EmitMatch(JoinContext* ctx, Code a, Code d, EquiMode mode,
+                 ResultSink* sink) {
+  if (mode == EquiMode::kContainment) {
+    if (IsAncestor(a, d)) {
+      ++ctx->stats.output_pairs;
+      return sink->OnPair(a, d);
+    }
+    ++ctx->stats.false_hits;
+    return Status::OK();
+  }
+  // Proximity: all distinct same-subtree pairs count.
+  if (a != d) {
+    ++ctx->stats.output_pairs;
+    return sink->OnPair(a, d);
+  }
+  return Status::OK();
+}
+
+/// In-memory build/probe join of one (sub-)partition pair. `build_a`
+/// says which side the hash table is built on; emission is always
+/// (a, d) with the Lemma-1 residual check.
+Status InMemoryJoin(JoinContext* ctx, const HeapFile& a_file,
+                    const HeapFile& d_file, int h, bool build_a,
+                    EquiMode mode, ResultSink* sink) {
+  const HeapFile& build = build_a ? a_file : d_file;
+  const HeapFile& probe = build_a ? d_file : a_file;
+
+  std::unordered_multimap<uint64_t, Code> table;
+  table.reserve(build.num_records());
+  {
+    HeapFile::Scanner scan(ctx->bm, build);
+    ElementRecord rec;
+    Status st;
+    while (scan.NextElement(&rec, &st)) {
+      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+      table.emplace(RolledKey(rec.code, h), rec.code);
+    }
+    PBITREE_RETURN_IF_ERROR(st);
+  }
+
+  HeapFile::Scanner scan(ctx->bm, probe);
+  ElementRecord rec;
+  Status st;
+  while (scan.NextElement(&rec, &st)) {
+    if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+    auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
+    for (auto it = lo; it != hi; ++it) {
+      Code a = build_a ? it->second : rec.code;
+      Code d = build_a ? rec.code : it->second;
+      PBITREE_RETURN_IF_ERROR(EmitMatch(ctx, a, d, mode, sink));
+    }
+  }
+  return st;
+}
+
+/// Block nested-loop fallback for pathologically skewed partitions where
+/// one rolled key holds more records than memory: join in chunks of the
+/// build side. I/O = ||probe|| * ceil(||build|| / budget).
+Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
+                           const HeapFile& d_file, int h, EquiMode mode,
+                           ResultSink* sink) {
+  const bool build_a = a_file.num_pages() <= d_file.num_pages();
+  const HeapFile& build = build_a ? a_file : d_file;
+  const HeapFile& probe = build_a ? d_file : a_file;
+  const uint64_t chunk = std::max<uint64_t>(ctx->WorkRecordBudget(), 1);
+
+  HeapFile::Scanner build_scan(ctx->bm, build);
+  Status st;
+  bool more = true;
+  while (more) {
+    std::unordered_multimap<uint64_t, Code> table;
+    uint64_t n = 0;
+    ElementRecord rec;
+    while (n < chunk && (more = build_scan.NextElement(&rec, &st))) {
+      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+      table.emplace(RolledKey(rec.code, h), rec.code);
+      ++n;
+    }
+    PBITREE_RETURN_IF_ERROR(st);
+    if (table.empty()) break;
+    HeapFile::Scanner probe_scan(ctx->bm, probe);
+    while (probe_scan.NextElement(&rec, &st)) {
+      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+      auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
+      for (auto it = lo; it != hi; ++it) {
+        Code a = build_a ? it->second : rec.code;
+        Code d = build_a ? rec.code : it->second;
+        PBITREE_RETURN_IF_ERROR(EmitMatch(ctx, a, d, mode, sink));
+      }
+    }
+    PBITREE_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+/// Hash-partitions `input` on the rolled key into `k` files.
+Status PartitionFile(JoinContext* ctx, const HeapFile& input, int h, size_t k,
+                     int salt, std::vector<HeapFile>* parts) {
+  parts->clear();
+  parts->resize(k);
+  std::vector<std::unique_ptr<HeapFile::Appender>> apps(k);
+  HeapFile::Scanner scan(ctx->bm, input);
+  ElementRecord rec;
+  Status st;
+  while (scan.NextElement(&rec, &st)) {
+    size_t p = HashKey(RolledKey(rec.code, h), salt) % k;
+    if (apps[p] == nullptr) {
+      PBITREE_ASSIGN_OR_RETURN((*parts)[p], HeapFile::Create(ctx->bm));
+      apps[p] = std::make_unique<HeapFile::Appender>(ctx->bm, &(*parts)[p]);
+    }
+    PBITREE_RETURN_IF_ERROR(apps[p]->AppendElement(rec));
+  }
+  return st;
+}
+
+Status HashJoinRecursive(JoinContext* ctx, const HeapFile& a_file,
+                         const HeapFile& d_file, int h, EquiMode mode,
+                         ResultSink* sink, int depth) {
+  if (a_file.num_records() == 0 || d_file.num_records() == 0) {
+    return Status::OK();
+  }
+  const uint64_t budget = ctx->WorkRecordBudget();
+  const uint64_t smaller =
+      std::min(a_file.num_records(), d_file.num_records());
+  if (smaller <= budget) {
+    bool build_a = a_file.num_records() <= d_file.num_records();
+    return InMemoryJoin(ctx, a_file, d_file, h, build_a, mode, sink);
+  }
+  if (depth >= 3) {
+    // Re-partitioning stopped helping (duplicate-heavy rolled keys);
+    // degrade gracefully instead of recursing forever.
+    return BlockNestedLoopJoin(ctx, a_file, d_file, h, mode, sink);
+  }
+
+  const uint64_t min_pages = std::min(a_file.num_pages(), d_file.num_pages());
+  size_t k = static_cast<size_t>(
+      (min_pages + ctx->work_pages - 2) / std::max<size_t>(ctx->work_pages - 1, 1));
+  k = std::max<size_t>(k, 2);
+  k = std::min<size_t>(k, std::max<size_t>(ctx->work_pages - 2, 2));
+
+  std::vector<HeapFile> a_parts, d_parts;
+  PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, a_file, h, k, depth, &a_parts));
+  PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, d_file, h, k, depth, &d_parts));
+  ctx->stats.partitions += k;
+
+  Status result = Status::OK();
+  for (size_t i = 0; i < k; ++i) {
+    if (result.ok() && a_parts[i].valid() && d_parts[i].valid()) {
+      result = HashJoinRecursive(ctx, a_parts[i], d_parts[i], h, mode, sink,
+                                 depth + 1);
+    }
+    if (a_parts[i].valid()) {
+      Status s = a_parts[i].Drop(ctx->bm);
+      if (result.ok()) result = s;
+    }
+    if (d_parts[i].valid()) {
+      Status s = d_parts[i].Drop(ctx->bm);
+      if (result.ok()) result = s;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Status HashEquijoinAtHeight(JoinContext* ctx, const HeapFile& a_file,
+                            const HeapFile& d_file, int target_height,
+                            ResultSink* sink, EquiMode mode) {
+  if (target_height < 0 || target_height >= kMaxTreeHeight) {
+    return Status::InvalidArgument("bad target height");
+  }
+  return HashJoinRecursive(ctx, a_file, d_file, target_height, mode, sink, 0);
+}
+
+Result<std::vector<ElementRecord>> LoadAllRecords(BufferManager* bm,
+                                                  const HeapFile& file) {
+  std::vector<ElementRecord> out;
+  out.reserve(file.num_records());
+  HeapFile::Scanner scan(bm, file);
+  ElementRecord rec;
+  Status st;
+  while (scan.NextElement(&rec, &st)) out.push_back(rec);
+  PBITREE_RETURN_IF_ERROR(st);
+  return out;
+}
+
+}  // namespace pbitree

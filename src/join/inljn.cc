@@ -1,0 +1,79 @@
+#include "join/inljn.h"
+
+namespace pbitree {
+
+namespace {
+
+/// Outer = A: for each ancestor, range-scan D's code index over a's
+/// subtree interval.
+Status ProbeDescendants(JoinContext* ctx, const ElementSet& a,
+                        const BPTree& d_index, ResultSink* sink) {
+  HeapFile::Scanner scan(ctx->bm, a.file);
+  ElementRecord a_rec;
+  Status st;
+  while (scan.NextElement(&a_rec, &st)) {
+    CodeInterval iv = SubtreeInterval(a_rec.code);
+    ++ctx->stats.index_probes;
+    BPTree::RangeScanner range(ctx->bm, d_index, iv.lo, iv.hi);
+    ElementRecord d_rec;
+    Status rst;
+    while (range.Next(&d_rec, &rst)) {
+      if (d_rec.code == a_rec.code) continue;  // the element itself
+      ++ctx->stats.output_pairs;
+      PBITREE_RETURN_IF_ERROR(sink->OnPair(a_rec.code, d_rec.code));
+    }
+    PBITREE_RETURN_IF_ERROR(rst);
+  }
+  return st;
+}
+
+/// Outer = D: for each descendant, stab A's interval index at its code.
+Status ProbeAncestors(JoinContext* ctx, const ElementSet& d,
+                      const IntervalIndex& a_index, ResultSink* sink) {
+  HeapFile::Scanner scan(ctx->bm, d.file);
+  ElementRecord d_rec;
+  Status st;
+  while (scan.NextElement(&d_rec, &st)) {
+    ++ctx->stats.index_probes;
+    Status emit_status;
+    Status stab = a_index.Stab(
+        ctx->bm, d_rec.code, [&](const ElementRecord& a_rec) {
+          // Stab returns every region containing d's code; the Lemma-1
+          // check drops the self match (code == code).
+          if (IsAncestor(a_rec.code, d_rec.code)) {
+            ++ctx->stats.output_pairs;
+            Status s = sink->OnPair(a_rec.code, d_rec.code);
+            if (!s.ok() && emit_status.ok()) emit_status = s;
+          }
+        });
+    PBITREE_RETURN_IF_ERROR(stab);
+    PBITREE_RETURN_IF_ERROR(emit_status);
+  }
+  return st;
+}
+
+}  // namespace
+
+Status Inljn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+             const InljnIndexes& indexes, ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("INLJN: inputs from different PBiTrees");
+  }
+  const bool can_probe_d = indexes.d_code_index != nullptr;
+  const bool can_probe_a = indexes.a_interval_index != nullptr;
+  if (!can_probe_d && !can_probe_a) {
+    return Status::InvalidArgument(
+        "INLJN needs an index on at least one input");
+  }
+  bool outer_a;
+  if (can_probe_d && can_probe_a) {
+    outer_a = a.num_records() <= d.num_records();  // the paper's heuristic
+  } else {
+    outer_a = can_probe_d;
+  }
+  return outer_a ? ProbeDescendants(ctx, a, *indexes.d_code_index, sink)
+                 : ProbeAncestors(ctx, d, *indexes.a_interval_index, sink);
+}
+
+}  // namespace pbitree

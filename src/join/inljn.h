@@ -1,0 +1,39 @@
+#ifndef PBITREE_JOIN_INLJN_H_
+#define PBITREE_JOIN_INLJN_H_
+
+#include "common/status.h"
+#include "index/bptree.h"
+#include "index/interval_index.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// Indexes available to the index nested-loop join. Either may be
+/// null; Inljn picks the probing direction accordingly.
+struct InljnIndexes {
+  /// B+-tree on the descendant set keyed by PBiTree code: the range
+  /// scan over [Start(a), End(a)] returns exactly a's subtree (the
+  /// "custom index building module" adaptation of Section 3.1).
+  const BPTree* d_code_index = nullptr;
+  /// Disk interval index on the ancestor set for the reverse probe
+  /// (the paper's disk-based interval tree [7]): Stab(d.Code) returns
+  /// every a whose region contains d.
+  const IntervalIndex* a_interval_index = nullptr;
+};
+
+/// \brief Improved Index Nested-Loop Join (Zhang et al. [20] adapted in
+/// Section 3.1 of the paper).
+///
+/// Iterates the outer set and probes the inner set's index per element.
+/// The paper's heuristic minimises random index probes: the smaller set
+/// is the outer one, giving I/O of min(||A|| + |A| O(log|D|),
+/// ||D|| + |D| O(log|A|)). When only one index is supplied, that
+/// direction is used regardless.
+Status Inljn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+             const InljnIndexes& indexes, ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_INLJN_H_

@@ -1,0 +1,66 @@
+#include "join/mhcj.h"
+
+#include <memory>
+#include <vector>
+
+#include "join/hash_equijoin.h"
+
+namespace pbitree {
+
+Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+            ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("MHCJ: inputs from different PBiTrees");
+  }
+  if (a.SingleHeight()) {
+    // Route to SHCJ directly (line 1-3 of Algorithm 3) — no
+    // partitioning pass needed.
+    return HashEquijoinAtHeight(ctx, a.file, d.file, a.MinHeight(), sink);
+  }
+
+  const std::vector<int> heights = a.Heights();
+  ctx->stats.partitions += heights.size();
+
+  // Height partitioning may need more simultaneous output buffers than
+  // the budget allows; partition in batches of (work_pages - 2) heights,
+  // re-scanning A once per batch (the paper assumes k << b, where one
+  // scan suffices).
+  const size_t batch = std::max<size_t>(ctx->work_pages - 2, 1);
+  for (size_t base = 0; base < heights.size(); base += batch) {
+    const size_t end = std::min(heights.size(), base + batch);
+    // height -> slot in this batch
+    int slot_of[64];
+    for (int i = 0; i < 64; ++i) slot_of[i] = -1;
+    for (size_t i = base; i < end; ++i) slot_of[heights[i]] = static_cast<int>(i - base);
+
+    std::vector<HeapFile> parts(end - base);
+    {
+      std::vector<std::unique_ptr<HeapFile::Appender>> apps(end - base);
+      HeapFile::Scanner scan(ctx->bm, a.file);
+      ElementRecord rec;
+      Status st;
+      while (scan.NextElement(&rec, &st)) {
+        int slot = slot_of[HeightOf(rec.code)];
+        if (slot < 0) continue;  // height handled by another batch
+        if (apps[slot] == nullptr) {
+          PBITREE_ASSIGN_OR_RETURN(parts[slot], HeapFile::Create(ctx->bm));
+          apps[slot] = std::make_unique<HeapFile::Appender>(ctx->bm, &parts[slot]);
+        }
+        PBITREE_RETURN_IF_ERROR(apps[slot]->AppendElement(rec));
+      }
+      PBITREE_RETURN_IF_ERROR(st);
+    }
+    for (size_t i = base; i < end; ++i) {
+      HeapFile& part = parts[i - base];
+      if (!part.valid()) continue;
+      Status st = HashEquijoinAtHeight(ctx, part, d.file, heights[i], sink);
+      Status drop = part.Drop(ctx->bm);
+      PBITREE_RETURN_IF_ERROR(st);
+      PBITREE_RETURN_IF_ERROR(drop);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

@@ -1,0 +1,23 @@
+#ifndef PBITREE_JOIN_MHCJ_H_
+#define PBITREE_JOIN_MHCJ_H_
+
+#include "common/status.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief Multiple Height Containment Join (Algorithm 3 of the paper).
+///
+/// Horizontally partitions A by PBiTree height into A_1..A_k (one scan,
+/// one write of ||A||) and evaluates SHCJ(A_i, D) for each partition;
+/// results are disjoint so the union is a plain append. Estimated I/O
+/// is 5||A|| + 3k||D|| — expensive when A spans many heights, which is
+/// what motivates MHCJ+Rollup.
+Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+            ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_MHCJ_H_

@@ -1,0 +1,68 @@
+#include "join/mhcj_rollup.h"
+
+#include <vector>
+
+#include "join/hash_equijoin.h"
+#include "join/mhcj.h"
+
+namespace pbitree {
+
+Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+                  ResultSink* sink, RollupHeightPolicy policy) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("MHCJ+Rollup: inputs from different PBiTrees");
+  }
+
+  if (policy == RollupHeightPolicy::kMax || a.SingleHeight()) {
+    // Roll every ancestor up to the highest height present: the whole
+    // join collapses to one SHCJ-shaped equijoin. The rolled code
+    // F(a.Code, h) is computed on the fly inside the hash join, so no
+    // rewritten ancestor file is needed.
+    return HashEquijoinAtHeight(ctx, a.file, d.file, a.MaxHeight(), sink);
+  }
+
+  // kMedian: split A at the median height. Heights <= h_med roll up to
+  // h_med (one equijoin); the rest keep exact per-height SHCJ joins via
+  // MHCJ.
+  std::vector<int> heights = a.Heights();
+  int h_med = heights[heights.size() / 2];
+
+  ElementSet low, high;
+  low.spec = high.spec = a.spec;
+  PBITREE_ASSIGN_OR_RETURN(low.file, HeapFile::Create(ctx->bm));
+  PBITREE_ASSIGN_OR_RETURN(high.file, HeapFile::Create(ctx->bm));
+  {
+    HeapFile::Appender low_app(ctx->bm, &low.file);
+    HeapFile::Appender high_app(ctx->bm, &high.file);
+    HeapFile::Scanner scan(ctx->bm, a.file);
+    ElementRecord rec;
+    Status st;
+    while (scan.NextElement(&rec, &st)) {
+      int h = HeightOf(rec.code);
+      if (h <= h_med) {
+        low.height_mask |= uint64_t{1} << h;
+        PBITREE_RETURN_IF_ERROR(low_app.AppendElement(rec));
+      } else {
+        high.height_mask |= uint64_t{1} << h;
+        PBITREE_RETURN_IF_ERROR(high_app.AppendElement(rec));
+      }
+    }
+    PBITREE_RETURN_IF_ERROR(st);
+  }
+
+  Status st = Status::OK();
+  if (low.num_records() > 0) {
+    st = HashEquijoinAtHeight(ctx, low.file, d.file, h_med, sink);
+  }
+  if (st.ok() && high.num_records() > 0) {
+    st = Mhcj(ctx, high, d, sink);
+  }
+  Status drop_low = low.file.Drop(ctx->bm);
+  Status drop_high = high.file.Drop(ctx->bm);
+  PBITREE_RETURN_IF_ERROR(st);
+  PBITREE_RETURN_IF_ERROR(drop_low);
+  return drop_high;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,37 @@
+#ifndef PBITREE_JOIN_MHCJ_ROLLUP_H_
+#define PBITREE_JOIN_MHCJ_ROLLUP_H_
+
+#include "common/status.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// How MHCJ+Rollup picks the single rollup height (Algorithm 4, line 1).
+enum class RollupHeightPolicy {
+  kMax,     // roll everything up to the highest height present in A —
+            // the paper's "simple strategy [that] works reasonably well"
+  kMedian,  // median height of A's height set (ablation alternative:
+            // fewer false hits above, more residual partitions below)
+};
+
+/// \brief MHCJ with Rollup (Algorithm 4 of the paper).
+///
+/// Rolls every ancestor below the chosen height h up to its height-h
+/// ancestor via F(n, h) — computed on the fly, no rewritten file — and
+/// evaluates one equijoin at height h. Key matches are filtered with
+/// the exact Lemma-1 predicate in a pipeline; rejected matches are the
+/// "false hits" of Table 2(f), counted in stats.false_hits.
+///
+/// With kMax every ancestor rolls to one height, so the whole join is
+/// a single SHCJ-shaped hash join of I/O cost 3(||A|| + ||D||).
+/// With kMedian, heights above the median are handled by a residual
+/// MHCJ over the remaining (fewer) heights.
+Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+                  ResultSink* sink,
+                  RollupHeightPolicy policy = RollupHeightPolicy::kMax);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_MHCJ_ROLLUP_H_

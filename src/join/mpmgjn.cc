@@ -1,0 +1,110 @@
+#include "join/mpmgjn.h"
+
+#include <deque>
+#include <memory>
+
+#include "sort/external_sort.h"
+
+namespace pbitree {
+
+namespace {
+
+/// A rewindable window over the descendant file: records between the
+/// current mark and the read frontier stay buffered in memory so the
+/// inner rescans of MPMGJN re-read them without extra I/O when they fit
+/// (mirroring how the original operates on blocks); records evicted
+/// past the window are re-fetched by restarting a scanner, charging the
+/// re-scan I/O honestly.
+class RewindableScan {
+ public:
+  RewindableScan(BufferManager* bm, const HeapFile& file)
+      : bm_(bm),
+        file_(&file),
+        scan_(std::make_unique<HeapFile::Scanner>(bm, file)) {}
+
+  /// Returns the record at `pos` (absolute index), reading forward as
+  /// needed. False when pos is past end of file.
+  bool At(uint64_t pos, ElementRecord* out, Status* st) {
+    *st = Status::OK();
+    if (pos < window_base_) {
+      // Window lost: restart the scan from the beginning (real I/O).
+      scan_ = std::make_unique<HeapFile::Scanner>(bm_, *file_);
+      window_base_ = 0;
+      next_ = 0;
+      window_.clear();
+    }
+    while (next_ <= pos) {
+      ElementRecord rec;
+      if (!scan_->NextElement(&rec, st)) return false;
+      window_.push_back(rec);
+      ++next_;
+      // Bound the in-memory window.
+      while (window_.size() > kMaxWindow) {
+        window_.pop_front();
+        ++window_base_;
+      }
+    }
+    if (pos < window_base_) {
+      // Evicted while reading forward; restart recursively (rare).
+      return At(pos, out, st);
+    }
+    *out = window_[pos - window_base_];
+    return true;
+  }
+
+ private:
+  static constexpr size_t kMaxWindow = 1 << 16;
+
+  BufferManager* bm_;
+  const HeapFile* file_;
+  std::unique_ptr<HeapFile::Scanner> scan_;
+  std::deque<ElementRecord> window_;
+  uint64_t window_base_ = 0;
+  uint64_t next_ = 0;
+};
+
+}  // namespace
+
+Status Mpmgjn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+              ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("MPMGJN: inputs from different PBiTrees");
+  }
+  if (!a.sorted_by_start || !d.sorted_by_start) {
+    return Status::InvalidArgument(
+        "MPMGJN requires both inputs sorted in document order");
+  }
+
+  HeapFile::Scanner a_scan(ctx->bm, a.file);
+  RewindableScan d_scan(ctx->bm, d.file);
+
+  ElementRecord a_rec, d_rec;
+  Status st;
+  uint64_t mark = 0;  // index in D where the current merge segment starts
+
+  while (a_scan.NextElement(&a_rec, &st)) {
+    const uint64_t a_start = StartOf(a_rec.code);
+    const uint64_t a_end = EndOf(a_rec.code);
+    // Advance the mark past descendants that no later ancestor can
+    // contain (their Start precedes this and every following a).
+    ElementRecord probe;
+    Status pst;
+    while (d_scan.At(mark, &probe, &pst) && StartOf(probe.code) < a_start) {
+      ++mark;
+    }
+    PBITREE_RETURN_IF_ERROR(pst);
+    // Scan the segment of D inside a's region (rescanned per ancestor).
+    for (uint64_t pos = mark; d_scan.At(pos, &d_rec, &pst); ++pos) {
+      if (StartOf(d_rec.code) > a_end) break;
+      if (IsAncestor(a_rec.code, d_rec.code)) {
+        ++ctx->stats.output_pairs;
+        PBITREE_RETURN_IF_ERROR(sink->OnPair(a_rec.code, d_rec.code));
+      }
+    }
+    PBITREE_RETURN_IF_ERROR(pst);
+  }
+  return st;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,22 @@
+#include "join/proximity.h"
+
+#include "join/hash_equijoin.h"
+
+namespace pbitree {
+
+Status ProximityJoin(JoinContext* ctx, const ElementSet& x,
+                     const ElementSet& y, int subtree_height,
+                     ResultSink* sink) {
+  if (x.num_records() == 0 || y.num_records() == 0) return Status::OK();
+  if (x.spec != y.spec) {
+    return Status::InvalidArgument(
+        "proximity join: inputs from different PBiTrees");
+  }
+  if (subtree_height < 1 || subtree_height >= x.spec.height) {
+    return Status::InvalidArgument("subtree height out of range");
+  }
+  return HashEquijoinAtHeight(ctx, x.file, y.file, subtree_height, sink,
+                              EquiMode::kProximity);
+}
+
+}  // namespace pbitree

@@ -1,0 +1,35 @@
+#ifndef PBITREE_JOIN_PROXIMITY_H_
+#define PBITREE_JOIN_PROXIMITY_H_
+
+#include "common/status.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief Proximity join — the other query class the paper's placement
+/// heuristic targets ("which will assist processing containment and
+/// proximity queries", Section 2.2).
+///
+/// Because BinarizeTree places all children of a node contiguously on
+/// one level, structural proximity ("in the same section", "within the
+/// same record") is equivalent to *sharing the PBiTree ancestor at a
+/// chosen height h* — which the F function computes in O(1). The join
+/// therefore reduces to the same hash equijoin machinery as SHCJ:
+///     F(x.Code, h) = F(y.Code, h),
+/// emitting every distinct pair of elements in the same height-h
+/// subtree. Elements above height h (no height-h ancestor) never
+/// match. Neither input needs sorting or indexes; cost matches SHCJ
+/// (||X|| + ||Y|| in memory, 3(||X|| + ||Y||) via Grace partitioning).
+///
+/// Pairs are emitted as (x, y) with x from the first input; a self-join
+/// of one set emits both (x, y) and (y, x) for x != y, as an equijoin
+/// does.
+Status ProximityJoin(JoinContext* ctx, const ElementSet& x,
+                     const ElementSet& y, int subtree_height,
+                     ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_PROXIMITY_H_

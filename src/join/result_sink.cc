@@ -1,0 +1,9 @@
+#include "join/result_sink.h"
+
+#include <algorithm>
+
+namespace pbitree {
+
+void VectorSink::Sort() { std::sort(pairs_.begin(), pairs_.end()); }
+
+}  // namespace pbitree

@@ -1,0 +1,102 @@
+#ifndef PBITREE_JOIN_RESULT_SINK_H_
+#define PBITREE_JOIN_RESULT_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "pbitree/code.h"
+#include "storage/heap_file.h"
+
+namespace pbitree {
+
+/// \brief Consumer of containment-join output tuples.
+///
+/// Join algorithms emit (ancestor, descendant) code pairs into a sink;
+/// benchmarks count, tests collect, applications materialise.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once per result pair. For containment joins `a` is a
+  /// proper ancestor of `d`; for proximity joins the pair is two
+  /// distinct same-subtree elements.
+  virtual Status OnPair(Code a, Code d) = 0;
+
+  uint64_t count() const { return count_; }
+
+ protected:
+  uint64_t count_ = 0;
+};
+
+/// Counts results without storing them (the benchmark sink).
+class CountingSink : public ResultSink {
+ public:
+  Status OnPair(Code, Code) override {
+    ++count_;
+    return Status::OK();
+  }
+};
+
+/// Collects pairs in memory (the test sink). Pairs can be sorted for
+/// order-insensitive comparison.
+class VectorSink : public ResultSink {
+ public:
+  Status OnPair(Code a, Code d) override {
+    ++count_;
+    pairs_.push_back(ResultPair{a, d});
+    return Status::OK();
+  }
+
+  std::vector<ResultPair>& pairs() { return pairs_; }
+  const std::vector<ResultPair>& pairs() const { return pairs_; }
+
+  /// Sorts pairs lexicographically — canonical form for set comparison.
+  void Sort();
+
+ private:
+  std::vector<ResultPair> pairs_;
+};
+
+/// Appends pairs to a heap file (the pipeline sink: results of one join
+/// feed the next, as in multi-step path queries).
+class MaterializeSink : public ResultSink {
+ public:
+  MaterializeSink(BufferManager* bm, HeapFile* out) : app_(bm, out) {}
+
+  Status OnPair(Code a, Code d) override {
+    ++count_;
+    return app_.AppendPair(ResultPair{a, d});
+  }
+
+  /// Flushes the tail page. Must be called before reading the file.
+  void Finish() { app_.Finish(); }
+
+ private:
+  HeapFile::Appender app_;
+};
+
+/// Wraps another sink and verifies every emitted pair with the exact
+/// Lemma-1 predicate — the failure-injection harness used by tests.
+class VerifyingSink : public ResultSink {
+ public:
+  explicit VerifyingSink(ResultSink* inner) : inner_(inner) {}
+
+  Status OnPair(Code a, Code d) override {
+    if (!IsAncestor(a, d)) {
+      return Status::Internal("join emitted non-ancestor pair (" +
+                              std::to_string(a) + ", " + std::to_string(d) +
+                              ")");
+    }
+    ++count_;
+    return inner_->OnPair(a, d);
+  }
+
+ private:
+  ResultSink* inner_;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_RESULT_SINK_H_

@@ -1,0 +1,20 @@
+#include "join/shcj.h"
+
+#include "join/hash_equijoin.h"
+
+namespace pbitree {
+
+Status Shcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+            ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("SHCJ: inputs from different PBiTrees");
+  }
+  if (!a.SingleHeight()) {
+    return Status::InvalidArgument(
+        "SHCJ requires a single-height ancestor set (use MHCJ)");
+  }
+  return HashEquijoinAtHeight(ctx, a.file, d.file, a.MinHeight(), sink);
+}
+
+}  // namespace pbitree

@@ -1,0 +1,24 @@
+#ifndef PBITREE_JOIN_SHCJ_H_
+#define PBITREE_JOIN_SHCJ_H_
+
+#include "common/status.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief Single Height Containment Join (Algorithm 2 of the paper).
+///
+/// Requires every element of A to sit at one PBiTree height h; the
+/// containment join A <| D is then the equijoin
+///     A.Code = F(D.Code, h),
+/// evaluated with a Grace hash join. Neither input needs to be sorted
+/// or indexed; I/O cost is ||A|| + ||D|| when the smaller side fits in
+/// memory and 3(||A|| + ||D||) otherwise.
+Status Shcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+            ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_SHCJ_H_

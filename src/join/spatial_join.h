@@ -1,0 +1,32 @@
+#ifndef PBITREE_JOIN_SPATIAL_JOIN_H_
+#define PBITREE_JOIN_SPATIAL_JOIN_H_
+
+#include "common/status.h"
+#include "index/rtree.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief Spatial containment joins over the (Start, End) point view of
+/// region codes (Section 5's spatial-join discussion).
+///
+/// RTreeProbeJoin is the spatial analogue of INLJN: scan one input,
+/// quadrant-probe the other's R-tree per element (smaller side outer,
+/// the paper's heuristic). RTreeSyncJoin is the synchronized traversal
+/// of Brinkhoff et al. [3]: descend both R-trees in lockstep, pruning
+/// node pairs whose MBRs cannot satisfy the containment predicate
+/// (a.Start <= d.Start && a.End >= d.End) — the class of algorithms the
+/// paper likens Anc_Des_B+ to.
+Status RTreeProbeJoin(JoinContext* ctx, const ElementSet& a,
+                      const ElementSet& d, const RTree* a_tree,
+                      const RTree* d_tree, ResultSink* sink);
+
+/// Synchronized R-tree traversal join: both inputs must be indexed.
+Status RTreeSyncJoin(JoinContext* ctx, const RTree& a_tree, const RTree& d_tree,
+                     ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_SPATIAL_JOIN_H_

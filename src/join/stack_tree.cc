@@ -1,0 +1,163 @@
+#include "join/stack_tree.h"
+
+#include <vector>
+
+#include "sort/external_sort.h"
+
+namespace pbitree {
+
+Status StackTreeJoin(JoinContext* ctx, const ElementSet& a,
+                     const ElementSet& d, ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("StackTree: inputs from different PBiTrees");
+  }
+  if (!a.sorted_by_start || !d.sorted_by_start) {
+    return Status::InvalidArgument(
+        "StackTree requires both inputs sorted in document order");
+  }
+
+  HeapFile::Scanner a_scan(ctx->bm, a.file);
+  HeapFile::Scanner d_scan(ctx->bm, d.file);
+  ElementRecord a_rec, d_rec;
+  Status st;
+  bool a_live = a_scan.NextElement(&a_rec, &st);
+  PBITREE_RETURN_IF_ERROR(st);
+  bool d_live = d_scan.NextElement(&d_rec, &st);
+  PBITREE_RETURN_IF_ERROR(st);
+
+  // The stack holds the chain of currently open ancestors (each entry
+  // nested in the one below). Its depth is bounded by the PBiTree
+  // height, so it always fits in memory — the key property of the
+  // stack-tree algorithms.
+  std::vector<Code> stack;
+
+  while (d_live && (a_live || !stack.empty())) {
+    if (a_live && ElementLess(a_rec, d_rec, SortOrder::kStartOrder)) {
+      // Next event is an ancestor-set element: close finished
+      // ancestors, open this one.
+      while (!stack.empty() && EndOf(stack.back()) < StartOf(a_rec.code)) {
+        stack.pop_back();
+      }
+      stack.push_back(a_rec.code);
+      a_live = a_scan.NextElement(&a_rec, &st);
+      PBITREE_RETURN_IF_ERROR(st);
+    } else {
+      // Next event is a descendant-set element: close finished
+      // ancestors, then every remaining stack entry contains it.
+      while (!stack.empty() && EndOf(stack.back()) < StartOf(d_rec.code)) {
+        stack.pop_back();
+      }
+      for (Code anc : stack) {
+        // The Lemma-1 check filters the self pair (the same element in
+        // both sets) at O(1) cost; all other stack entries are genuine
+        // ancestors.
+        if (IsAncestor(anc, d_rec.code)) {
+          ++ctx->stats.output_pairs;
+          PBITREE_RETURN_IF_ERROR(sink->OnPair(anc, d_rec.code));
+        }
+      }
+      d_live = d_scan.NextElement(&d_rec, &st);
+      PBITREE_RETURN_IF_ERROR(st);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Stack entry of the ancestor-ordered variant: the pairs owned by this
+/// ancestor (self) and the already-ordered output of closed descendants
+/// (inherit), flushed parent-first when the entry closes.
+struct AncEntry {
+  Code anc;
+  std::vector<Code> self_descendants;
+  std::vector<ResultPair> inherit;
+};
+
+Status FlushAncEntry(JoinContext* ctx, AncEntry&& e,
+                     std::vector<AncEntry>* stack, ResultSink* sink) {
+  if (!stack->empty()) {
+    // Parent still open: this ancestor's output must follow the
+    // parent's own pairs, so buffer it on the parent.
+    AncEntry& parent = stack->back();
+    parent.inherit.reserve(parent.inherit.size() + e.self_descendants.size() +
+                           e.inherit.size());
+    for (Code d : e.self_descendants) {
+      parent.inherit.push_back(ResultPair{e.anc, d});
+    }
+    parent.inherit.insert(parent.inherit.end(), e.inherit.begin(),
+                          e.inherit.end());
+    return Status::OK();
+  }
+  for (Code d : e.self_descendants) {
+    ++ctx->stats.output_pairs;
+    PBITREE_RETURN_IF_ERROR(sink->OnPair(e.anc, d));
+  }
+  for (const ResultPair& p : e.inherit) {
+    ++ctx->stats.output_pairs;
+    PBITREE_RETURN_IF_ERROR(sink->OnPair(p.ancestor_code, p.descendant_code));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
+                        const ElementSet& d, ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("StackTree: inputs from different PBiTrees");
+  }
+  if (!a.sorted_by_start || !d.sorted_by_start) {
+    return Status::InvalidArgument(
+        "StackTree requires both inputs sorted in document order");
+  }
+
+  HeapFile::Scanner a_scan(ctx->bm, a.file);
+  HeapFile::Scanner d_scan(ctx->bm, d.file);
+  ElementRecord a_rec, d_rec;
+  Status st;
+  bool a_live = a_scan.NextElement(&a_rec, &st);
+  PBITREE_RETURN_IF_ERROR(st);
+  bool d_live = d_scan.NextElement(&d_rec, &st);
+  PBITREE_RETURN_IF_ERROR(st);
+
+  std::vector<AncEntry> stack;
+
+  auto pop_below = [&](uint64_t start) -> Status {
+    while (!stack.empty() && EndOf(stack.back().anc) < start) {
+      AncEntry e = std::move(stack.back());
+      stack.pop_back();
+      PBITREE_RETURN_IF_ERROR(FlushAncEntry(ctx, std::move(e), &stack, sink));
+    }
+    return Status::OK();
+  };
+
+  while (d_live && (a_live || !stack.empty())) {
+    if (a_live && ElementLess(a_rec, d_rec, SortOrder::kStartOrder)) {
+      PBITREE_RETURN_IF_ERROR(pop_below(StartOf(a_rec.code)));
+      stack.push_back(AncEntry{a_rec.code, {}, {}});
+      a_live = a_scan.NextElement(&a_rec, &st);
+      PBITREE_RETURN_IF_ERROR(st);
+    } else {
+      PBITREE_RETURN_IF_ERROR(pop_below(StartOf(d_rec.code)));
+      for (AncEntry& e : stack) {
+        if (IsAncestor(e.anc, d_rec.code)) {
+          e.self_descendants.push_back(d_rec.code);
+        }
+      }
+      d_live = d_scan.NextElement(&d_rec, &st);
+      PBITREE_RETURN_IF_ERROR(st);
+    }
+  }
+  // Close whatever is still open (deepest first).
+  while (!stack.empty()) {
+    AncEntry e = std::move(stack.back());
+    stack.pop_back();
+    PBITREE_RETURN_IF_ERROR(FlushAncEntry(ctx, std::move(e), &stack, sink));
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

@@ -1,0 +1,94 @@
+#include "join/xr_stack.h"
+
+#include <vector>
+
+namespace pbitree {
+
+Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+                   const XRTree& a_tree, const XRTree& d_tree,
+                   ResultSink* sink) {
+  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
+  if (a.spec != d.spec) {
+    return Status::InvalidArgument("XR-stack: inputs from different PBiTrees");
+  }
+  if (!a_tree.valid() || !d_tree.valid()) {
+    return Status::InvalidArgument("XR-stack requires two XR-trees");
+  }
+
+  XRTree::Cursor a_cur(ctx->bm, a_tree);
+  XRTree::Cursor d_cur(ctx->bm, d_tree);
+  PBITREE_RETURN_IF_ERROR(a_cur.SeekTo(0));
+  PBITREE_RETURN_IF_ERROR(d_cur.SeekTo(0));
+
+  std::vector<Code> stack;
+
+  auto pop_dead = [&](uint64_t start) {
+    while (!stack.empty() && EndOf(stack.back()) < start) stack.pop_back();
+  };
+
+  while (d_cur.live()) {
+    const uint64_t d_start = StartOf(d_cur.rec().code);
+    pop_dead(d_start);
+
+    // Feed the stack with ancestors opening before the current
+    // descendant, teleporting across dead ancestor runs.
+    while (a_cur.live()) {
+      const ElementRecord& a_rec = a_cur.rec();
+      uint64_t a_start = StartOf(a_rec.code);
+      bool a_first = a_start < d_start ||
+                     (a_start == d_start &&
+                      HeightOf(a_rec.code) >= HeightOf(d_cur.rec().code));
+      if (!a_first) break;
+      if (stack.empty() && EndOf(a_rec.code) < d_start) {
+        // Dead run: everything from here whose End stays below d_start
+        // is useless. Rebuild the exact open set at d_start from the
+        // stab lists and jump the cursor past the run.
+        ++ctx->stats.index_probes;
+        stack.clear();
+        Status emit_status;
+        PBITREE_RETURN_IF_ERROR(a_tree.StabPath(
+            ctx->bm, d_start, [&](const ElementRecord& rec) {
+              // Elements with Start == d_start will arrive via the
+              // cursor (which reseeks to d_start); take only the
+              // strictly-open ones here to avoid duplicates.
+              if (StartOf(rec.code) < d_start) stack.push_back(rec.code);
+            }));
+        (void)emit_status;
+        PBITREE_RETURN_IF_ERROR(a_cur.SeekTo(d_start));
+        continue;
+      }
+      pop_dead(a_start);
+      stack.push_back(a_rec.code);
+      PBITREE_RETURN_IF_ERROR(a_cur.Advance());
+    }
+    pop_dead(d_start);
+
+    if (stack.empty()) {
+      if (!a_cur.live()) {
+        // No open ancestors and none to come: the join is complete
+        // unless some passed interval still covers a future
+        // descendant — impossible, it would cover d_start too and be
+        // on the stack (via cursor or teleport).
+        break;
+      }
+      // Descendant skip: no interval covers [d_start, next ancestor).
+      uint64_t a_start = StartOf(a_cur.rec().code);
+      if (a_start > d_start) {
+        ++ctx->stats.index_probes;
+        PBITREE_RETURN_IF_ERROR(d_cur.SeekTo(a_start));
+        continue;
+      }
+    }
+
+    for (Code anc : stack) {
+      if (IsAncestor(anc, d_cur.rec().code)) {
+        ++ctx->stats.output_pairs;
+        PBITREE_RETURN_IF_ERROR(sink->OnPair(anc, d_cur.rec().code));
+      }
+    }
+    PBITREE_RETURN_IF_ERROR(d_cur.Advance());
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

@@ -1,0 +1,33 @@
+#ifndef PBITREE_JOIN_XR_STACK_H_
+#define PBITREE_JOIN_XR_STACK_H_
+
+#include "common/status.h"
+#include "index/xrtree.h"
+#include "join/element_set.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief XR-stack join ([8], the same authors' follow-up the PBiTree
+/// paper footnotes as superseding Anc_Des_B+).
+///
+/// A stack-tree join driven by two XR-trees. Both cursors scan the
+/// Start-ordered leaf levels; whenever the ancestor stack runs empty:
+///  - if the ancestor cursor lags far behind the current descendant,
+///    it *teleports*: the stack is rebuilt exactly with StabPath
+///    (every ancestor-set interval covering the descendant's Start,
+///    fetched in O(path) pages) and the cursor reseeks past it —
+///    the sound ancestor skip ADB+ could not do with plain B+-trees;
+///  - if the descendant cursor lags, it seeks forward to the next
+///    ancestor's Start (no interval can cover the skipped range, or it
+///    would have been on the stack).
+/// Worst-case I/O matches stack-tree; on low-selectivity inputs entire
+/// clusters of both inputs are never touched.
+Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
+                   const XRTree& a_tree, const XRTree& d_tree,
+                   ResultSink* sink);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_XR_STACK_H_

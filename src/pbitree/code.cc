@@ -1,0 +1,15 @@
+#include "pbitree/code.h"
+
+#include <string>
+
+namespace pbitree {
+
+Status ValidateSpec(const PBiTreeSpec& spec) {
+  if (spec.height < 1 || spec.height > kMaxTreeHeight) {
+    return Status::InvalidArgument("PBiTree height must be in [1, 63], got " +
+                                   std::to_string(spec.height));
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

@@ -1,0 +1,143 @@
+#include "sort/external_sort.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace pbitree {
+
+bool ElementLess(const ElementRecord& a, const ElementRecord& b,
+                 SortOrder order) {
+  if (order == SortOrder::kCodeOrder) return a.code < b.code;
+  uint64_t sa = StartOf(a.code);
+  uint64_t sb = StartOf(b.code);
+  if (sa != sb) return sa < sb;
+  // Equal Start: the higher node is the ancestor and must come first.
+  return HeightOf(a.code) > HeightOf(b.code);
+}
+
+namespace {
+
+/// Generates sorted runs of at most `work_pages` pages each.
+Status GenerateRuns(BufferManager* bm, const HeapFile& input,
+                    size_t work_pages, SortOrder order,
+                    std::vector<HeapFile>* runs) {
+  const size_t run_capacity = work_pages * HeapFile::kRecordsPerPage;
+  std::vector<ElementRecord> buf;
+  buf.reserve(std::min<size_t>(run_capacity, 1 << 20));
+
+  HeapFile::Scanner scan(bm, input);
+  ElementRecord rec;
+  Status st;
+  bool more = true;
+  while (more) {
+    buf.clear();
+    while (buf.size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
+      buf.push_back(rec);
+    }
+    PBITREE_RETURN_IF_ERROR(st);
+    if (buf.empty()) break;
+    std::sort(buf.begin(), buf.end(),
+              [order](const ElementRecord& a, const ElementRecord& b) {
+                return ElementLess(a, b, order);
+              });
+    PBITREE_ASSIGN_OR_RETURN(HeapFile run, HeapFile::Create(bm));
+    {
+      HeapFile::Appender app(bm, &run);
+      for (const ElementRecord& r : buf) {
+        PBITREE_RETURN_IF_ERROR(app.AppendElement(r));
+      }
+    }
+    runs->push_back(run);
+  }
+  return Status::OK();
+}
+
+/// Merges `inputs` into one run; drops the inputs afterwards.
+Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
+                           SortOrder order) {
+  struct Cursor {
+    std::unique_ptr<HeapFile::Scanner> scan;
+    ElementRecord rec;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(inputs->size());
+  Status st;
+  for (HeapFile& f : *inputs) {
+    Cursor c;
+    c.scan = std::make_unique<HeapFile::Scanner>(bm, f);
+    if (c.scan->NextElement(&c.rec, &st)) {
+      cursors.push_back(std::move(c));
+    }
+    PBITREE_RETURN_IF_ERROR(st);
+  }
+
+  auto greater = [order, &cursors](size_t a, size_t b) {
+    // Min-heap on the comparator (priority_queue is a max-heap).
+    return ElementLess(cursors[b].rec, cursors[a].rec, order);
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
+  for (size_t i = 0; i < cursors.size(); ++i) heap.push(i);
+
+  PBITREE_ASSIGN_OR_RETURN(HeapFile out, HeapFile::Create(bm));
+  {
+    HeapFile::Appender app(bm, &out);
+    while (!heap.empty()) {
+      size_t i = heap.top();
+      heap.pop();
+      PBITREE_RETURN_IF_ERROR(app.AppendElement(cursors[i].rec));
+      if (cursors[i].scan->NextElement(&cursors[i].rec, &st)) {
+        heap.push(i);
+      }
+      PBITREE_RETURN_IF_ERROR(st);
+    }
+  }
+  for (Cursor& c : cursors) c.scan.reset();
+  for (HeapFile& f : *inputs) {
+    PBITREE_RETURN_IF_ERROR(f.Drop(bm));
+  }
+  inputs->clear();
+  return out;
+}
+
+}  // namespace
+
+Result<HeapFile> ExternalSort(BufferManager* bm, const HeapFile& input,
+                              size_t work_pages, SortOrder order) {
+  if (work_pages < 3) {
+    return Status::InvalidArgument("ExternalSort needs >= 3 work pages");
+  }
+  std::vector<HeapFile> runs;
+  PBITREE_RETURN_IF_ERROR(GenerateRuns(bm, input, work_pages, order, &runs));
+  if (runs.empty()) return HeapFile::Create(bm);
+
+  const size_t fan_in = work_pages - 1;
+  while (runs.size() > 1) {
+    std::vector<HeapFile> next;
+    for (size_t i = 0; i < runs.size(); i += fan_in) {
+      size_t end = std::min(runs.size(), i + fan_in);
+      std::vector<HeapFile> group(runs.begin() + i, runs.begin() + end);
+      PBITREE_ASSIGN_OR_RETURN(HeapFile merged, MergeRuns(bm, &group, order));
+      next.push_back(merged);
+    }
+    runs = std::move(next);
+  }
+  return runs[0];
+}
+
+Result<bool> IsSorted(BufferManager* bm, const HeapFile& file, SortOrder order) {
+  HeapFile::Scanner scan(bm, file);
+  ElementRecord prev, cur;
+  Status st;
+  bool first = true;
+  while (scan.NextElement(&cur, &st)) {
+    if (!first && ElementLess(cur, prev, order)) return false;
+    prev = cur;
+    first = false;
+  }
+  PBITREE_RETURN_IF_ERROR(st);
+  return true;
+}
+
+}  // namespace pbitree

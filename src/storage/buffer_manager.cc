@@ -1,0 +1,166 @@
+#include "storage/buffer_manager.h"
+
+#include <cassert>
+
+namespace pbitree {
+
+BufferManager::BufferManager(DiskManager* disk, size_t pool_pages)
+    : disk_(disk) {
+  assert(pool_pages >= 3 && "joins need at least 3 buffer pages");
+  frames_.reserve(pool_pages);
+  for (size_t i = 0; i < pool_pages; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+  }
+  page_table_.reserve(pool_pages * 2);
+}
+
+BufferManager::~BufferManager() { FlushAll(); }
+
+Result<size_t> BufferManager::FindVictim() {
+  // Classic clock sweep: skip pinned frames, clear reference bits, take
+  // the first unreferenced unpinned frame. Two full sweeps guarantee
+  // termination when any frame is unpinned.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Page* f = frames_[clock_hand_].get();
+    size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f->pin_count_ > 0) continue;
+    if (f->referenced_) {
+      f->referenced_ = false;
+      continue;
+    }
+    return idx;
+  }
+  return Status::ResourceExhausted("buffer pool: all frames pinned");
+}
+
+Status BufferManager::EvictFrame(size_t idx) {
+  Page* f = frames_[idx].get();
+  if (f->page_id_ == kInvalidPageId) return Status::OK();
+  if (f->is_dirty_) {
+    PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
+    ++stats_.dirty_writes;
+  }
+  page_table_.erase(f->page_id_);
+  ++stats_.evictions;
+  f->Reset();
+  return Status::OK();
+}
+
+Result<Page*> BufferManager::FetchPage(PageId page_id) {
+  ++stats_.fetches;
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Page* f = frames_[it->second].get();
+    ++f->pin_count_;
+    f->referenced_ = true;
+    return f;
+  }
+  ++stats_.misses;
+  PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictim());
+  PBITREE_RETURN_IF_ERROR(EvictFrame(idx));
+  Page* f = frames_[idx].get();
+  PBITREE_RETURN_IF_ERROR(disk_->ReadPage(page_id, f->data_));
+  f->page_id_ = page_id;
+  f->pin_count_ = 1;
+  f->is_dirty_ = false;
+  f->referenced_ = true;
+  page_table_[page_id] = idx;
+  return f;
+}
+
+Result<Page*> BufferManager::NewPage() {
+  PBITREE_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictim());
+  PBITREE_RETURN_IF_ERROR(EvictFrame(idx));
+  Page* f = frames_[idx].get();
+  f->Reset();
+  f->page_id_ = page_id;
+  f->pin_count_ = 1;
+  f->is_dirty_ = true;  // a new page must reach disk even if untouched
+  f->referenced_ = true;
+  page_table_[page_id] = idx;
+  return f;
+}
+
+Status BufferManager::UnpinPage(PageId page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("UnpinPage: page " + std::to_string(page_id) +
+                            " not in pool");
+  }
+  Page* f = frames_[it->second].get();
+  if (f->pin_count_ <= 0) {
+    return Status::Internal("UnpinPage: page " + std::to_string(page_id) +
+                            " not pinned");
+  }
+  --f->pin_count_;
+  if (dirty) f->is_dirty_ = true;
+  return Status::OK();
+}
+
+Status BufferManager::FlushPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Page* f = frames_[it->second].get();
+  if (f->is_dirty_) {
+    PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
+    ++stats_.dirty_writes;
+    f->is_dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  for (auto& frame : frames_) {
+    Page* f = frame.get();
+    if (f->page_id_ != kInvalidPageId && f->is_dirty_) {
+      PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
+      ++stats_.dirty_writes;
+      f->is_dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferManager::PurgeAll() {
+  PBITREE_RETURN_IF_ERROR(FlushAll());
+  for (auto& frame : frames_) {
+    Page* f = frame.get();
+    if (f->page_id_ == kInvalidPageId) continue;
+    if (f->pin_count_ > 0) {
+      return Status::InvalidArgument("PurgeAll: page " +
+                                     std::to_string(f->page_id_) +
+                                     " is pinned");
+    }
+    page_table_.erase(f->page_id_);
+    f->Reset();
+  }
+  return Status::OK();
+}
+
+Status BufferManager::DeletePage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Page* f = frames_[it->second].get();
+    if (f->pin_count_ > 0) {
+      return Status::InvalidArgument("DeletePage: page " +
+                                     std::to_string(page_id) + " is pinned");
+    }
+    page_table_.erase(it);
+    f->Reset();
+  }
+  return disk_->FreePage(page_id);
+}
+
+size_t BufferManager::PinnedFrames() const {
+  size_t n = 0;
+  for (const auto& frame : frames_) {
+    if (frame->pin_count_ > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,153 @@
+#include "storage/catalog.h"
+
+#include <cstring>
+
+namespace pbitree {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5042495452454531ULL;  // "PBITREE1"
+constexpr size_t kHeaderBytes = 24;
+constexpr size_t kEntryBytes = 96;
+
+template <typename T>
+void PutAt(char* base, size_t off, T v) {
+  std::memcpy(base + off, &v, sizeof(T));
+}
+template <typename T>
+T GetAt(const char* base, size_t off) {
+  T v;
+  std::memcpy(&v, base + off, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+Result<Catalog> Catalog::Load(BufferManager* bm) {
+  Catalog cat;
+  if (bm->disk()->frontier() == 0) return cat;  // nothing on disk yet
+  PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));
+  const char* data = p->data();
+  if (GetAt<uint64_t>(data, 0) != kMagic) {
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
+    return cat;  // fresh or foreign database: empty catalog
+  }
+  uint32_t count = GetAt<uint32_t>(data, 12);
+  uint32_t frontier = GetAt<uint32_t>(data, 16);
+  bm->disk()->SetFrontier(frontier);
+  if (count > kMaxEntries) {
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
+    return Status::Corruption("catalog entry count out of range");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* at = data + kHeaderBytes + i * kEntryBytes;
+    char name_buf[kMaxNameLen + 1];
+    std::memcpy(name_buf, at, kMaxNameLen + 1);
+    name_buf[kMaxNameLen] = '\0';
+    Entry e;
+    e.first_page = GetAt<PageId>(at, 32);
+    e.num_records = GetAt<uint64_t>(at, 40);
+    e.num_pages = GetAt<uint64_t>(at, 48);
+    e.tree_height = GetAt<int32_t>(at, 56);
+    e.flags = GetAt<uint32_t>(at, 60);
+    e.height_mask = GetAt<uint64_t>(at, 64);
+    e.min_start = GetAt<uint64_t>(at, 72);
+    e.max_end = GetAt<uint64_t>(at, 80);
+    cat.entries_.emplace(name_buf, e);
+  }
+  PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
+  return cat;
+}
+
+Status Catalog::Save(BufferManager* bm) {
+  // Flush data pages first so the catalog never points at unwritten
+  // pages; the header goes through the pool so later Loads in the same
+  // process see it.
+  PBITREE_RETURN_IF_ERROR(bm->FlushAll());
+  char data[kPageSize];
+  std::memset(data, 0, sizeof(data));
+  PutAt<uint64_t>(data, 0, kMagic);
+  PutAt<uint32_t>(data, 8, 1);  // version
+  PutAt<uint32_t>(data, 12, static_cast<uint32_t>(entries_.size()));
+  size_t i = 0;
+  for (const auto& [name, e] : entries_) {
+    char* at = data + kHeaderBytes + i * kEntryBytes;
+    std::memcpy(at, name.c_str(), name.size());
+    PutAt<PageId>(at, 32, e.first_page);
+    PutAt<uint64_t>(at, 40, e.num_records);
+    PutAt<uint64_t>(at, 48, e.num_pages);
+    PutAt<int32_t>(at, 56, e.tree_height);
+    PutAt<uint32_t>(at, 60, e.flags);
+    PutAt<uint64_t>(at, 64, e.height_mask);
+    PutAt<uint64_t>(at, 72, e.min_start);
+    PutAt<uint64_t>(at, 80, e.max_end);
+    ++i;
+  }
+  PutAt<uint32_t>(data, 16, bm->disk()->frontier());
+  PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));
+  std::memcpy(p->data(), data, kPageSize);
+  PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, /*dirty=*/true));
+  return bm->FlushPage(0);
+}
+
+Status Catalog::Put(const std::string& name, const ElementSet& set) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return Status::InvalidArgument("catalog name must be 1..31 bytes");
+  }
+  if (!set.file.valid()) {
+    return Status::InvalidArgument("cannot catalog an invalid element set");
+  }
+  if (entries_.count(name) == 0 && entries_.size() >= kMaxEntries) {
+    return Status::ResourceExhausted("catalog full (42 entries)");
+  }
+  Entry e;
+  e.first_page = set.file.first_page();
+  e.num_records = set.num_records();
+  e.num_pages = set.num_pages();
+  e.tree_height = set.spec.height;
+  e.flags = set.sorted_by_start ? 1u : 0u;
+  e.height_mask = set.height_mask;
+  e.min_start = set.min_start;
+  e.max_end = set.max_end;
+  entries_[name] = e;
+  return Status::OK();
+}
+
+Result<ElementSet> Catalog::Get(BufferManager* bm,
+                                const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no element set named '" + name + "'");
+  }
+  const Entry& e = it->second;
+  PBITREE_ASSIGN_OR_RETURN(HeapFile file,
+                           HeapFile::Attach(bm, e.first_page));
+  if (file.num_records() != e.num_records) {
+    return Status::Corruption("catalog entry '" + name +
+                              "' does not match the on-disk file");
+  }
+  ElementSet set;
+  set.file = file;
+  set.spec = PBiTreeSpec{e.tree_height};
+  set.sorted_by_start = (e.flags & 1u) != 0;
+  set.height_mask = e.height_mask;
+  set.min_start = e.min_start;
+  set.max_end = e.max_end;
+  return set;
+}
+
+Status Catalog::Remove(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("no element set named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace pbitree

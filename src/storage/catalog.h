@@ -1,0 +1,75 @@
+#ifndef PBITREE_STORAGE_CATALOG_H_
+#define PBITREE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "join/element_set.h"
+#include "storage/buffer_manager.h"
+
+namespace pbitree {
+
+/// \brief Persistent directory of named element sets, stored on the
+/// database header page (page 0) — what turns the scratch page file
+/// into a reopenable database of encoded documents.
+///
+/// Each entry records a set's name, first heap page, counts, the
+/// PBiTree height its codes live in, its height mask / range metadata
+/// and a sorted flag — everything needed to reconstruct an ElementSet
+/// after a restart (HeapFile::Attach rebuilds the page directory).
+/// The header also persists the page-allocation frontier; freed-page
+/// lists are not persisted (reclaim space by offline compaction).
+///
+/// Capacity: 42 entries (one header page). Names are at most 31 bytes.
+class Catalog {
+ public:
+  static constexpr size_t kMaxEntries = 42;
+  static constexpr size_t kMaxNameLen = 31;
+
+  Catalog() = default;
+
+  /// Loads the catalog from page 0; a fresh database (zero/foreign
+  /// magic) yields an empty catalog.
+  static Result<Catalog> Load(BufferManager* bm);
+
+  /// Writes the catalog and the current allocation frontier to page 0
+  /// and flushes the pool — the database is reopenable afterwards.
+  Status Save(BufferManager* bm);
+
+  /// Registers (or replaces) a named element set. The set's pages are
+  /// NOT copied; the catalog only records the metadata.
+  Status Put(const std::string& name, const ElementSet& set);
+
+  /// Reconstructs a named element set. NotFound if absent.
+  Result<ElementSet> Get(BufferManager* bm, const std::string& name) const;
+
+  /// Removes an entry (the set's pages are not freed; drop them first
+  /// if the data itself should go).
+  Status Remove(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+  std::vector<std::string> Names() const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    PageId first_page = kInvalidPageId;
+    uint64_t num_records = 0;
+    uint64_t num_pages = 0;
+    int32_t tree_height = 0;
+    uint32_t flags = 0;  // bit 0: sorted_by_start
+    uint64_t height_mask = 0;
+    uint64_t min_start = UINT64_MAX;
+    uint64_t max_end = 0;
+  };
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_STORAGE_CATALOG_H_

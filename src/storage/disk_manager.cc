@@ -1,0 +1,139 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pbitree {
+
+DiskManager::DiskManager(std::string path, int fd, bool unlink_on_close)
+    : path_(std::move(path)), fd_(fd), unlink_on_close_(unlink_on_close) {
+  is_free_.resize(1, false);  // header page
+}
+
+Result<DiskManager*> DiskManager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  return new DiskManager(path, fd, /*unlink_on_close=*/true);
+}
+
+Result<DiskManager*> DiskManager::OpenExisting(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  auto* dm = new DiskManager(path, fd, /*unlink_on_close=*/false);
+  // Make every existing page addressable; the catalog narrows this to
+  // the recorded frontier afterwards.
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size > 0) {
+    dm->SetFrontier(static_cast<PageId>((size + kPageSize - 1) / kPageSize));
+  }
+  return dm;
+}
+
+DiskManager* DiskManager::OpenInMemory() {
+  return new DiskManager("", -1, true);
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    if (!path_.empty() && unlink_on_close_) ::unlink(path_.c_str());
+  }
+}
+
+void DiskManager::SetFrontier(PageId frontier) {
+  if (frontier > next_page_id_) {
+    next_page_id_ = frontier;
+    if (is_free_.size() < frontier) is_free_.resize(frontier, false);
+  }
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    is_free_[id] = false;
+    return id;
+  }
+  PageId id = next_page_id_++;
+  if (id == kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  if (is_free_.size() <= id) is_free_.resize(id + 1, false);
+  return id;
+}
+
+Status DiskManager::FreePage(PageId page_id) {
+  if (page_id == 0 || page_id >= next_page_id_) {
+    return Status::InvalidArgument("FreePage: bad page id " +
+                                   std::to_string(page_id));
+  }
+  if (is_free_[page_id]) {
+    return Status::InvalidArgument("FreePage: double free of page " +
+                                   std::to_string(page_id));
+  }
+  is_free_[page_id] = true;
+  free_list_.push_back(page_id);
+  ++stats_.pages_freed;
+  return Status::OK();
+}
+
+Status DiskManager::EnsureCapacity(PageId page_id) {
+  size_t need = (static_cast<size_t>(page_id) + 1) * kPageSize;
+  if (fd_ < 0) {
+    if (mem_.size() < need) mem_.resize(need, 0);
+    return Status::OK();
+  }
+  return Status::OK();  // real files are extended by pwrite
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  if (page_id >= next_page_id_) {
+    return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
+                              " beyond frontier");
+  }
+  ++stats_.page_reads;
+  if (fd_ < 0) {
+    PBITREE_RETURN_IF_ERROR(EnsureCapacity(page_id));
+    std::memcpy(out, mem_.data() + static_cast<size_t>(page_id) * kPageSize,
+                kPageSize);
+    return Status::OK();
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page_id) * kPageSize);
+  if (n < 0) return Status::IOError(std::string("pread: ") + std::strerror(errno));
+  if (static_cast<size_t>(n) < kPageSize) {
+    // Page was allocated but never written; treat as zeroes.
+    std::memset(out + n, 0, kPageSize - n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* in) {
+  if (page_id >= next_page_id_) {
+    return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
+                              " beyond frontier");
+  }
+  ++stats_.page_writes;
+  if (fd_ < 0) {
+    PBITREE_RETURN_IF_ERROR(EnsureCapacity(page_id));
+    std::memcpy(mem_.data() + static_cast<size_t>(page_id) * kPageSize, in,
+                kPageSize);
+    return Status::OK();
+  }
+  ssize_t n = ::pwrite(fd_, in, kPageSize,
+                       static_cast<off_t>(page_id) * kPageSize);
+  if (n < 0 || static_cast<size_t>(n) != kPageSize) {
+    return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

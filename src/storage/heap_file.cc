@@ -1,0 +1,141 @@
+#include "storage/heap_file.h"
+
+namespace pbitree {
+
+Result<HeapFile> HeapFile::Create(BufferManager* bm) {
+  PBITREE_ASSIGN_OR_RETURN(Page * p, bm->NewPage());
+  HeapFile f;
+  f.first_page_ = p->page_id();
+  f.last_page_ = p->page_id();
+  f.num_pages_ = 1;
+  f.pages_.push_back(p->page_id());
+  SetNext(p, kInvalidPageId);
+  SetCount(p, 0);
+  PBITREE_RETURN_IF_ERROR(bm->UnpinPage(p->page_id(), /*dirty=*/true));
+  return f;
+}
+
+Result<HeapFile> HeapFile::Attach(BufferManager* bm, PageId first_page) {
+  if (first_page == kInvalidPageId) {
+    return Status::InvalidArgument("Attach: invalid first page");
+  }
+  HeapFile f;
+  f.first_page_ = first_page;
+  PageId pid = first_page;
+  while (pid != kInvalidPageId) {
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(pid));
+    f.pages_.push_back(pid);
+    f.num_records_ += GetCount(p);
+    ++f.num_pages_;
+    f.last_page_ = pid;
+    PageId next = GetNext(p);
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(pid, false));
+    pid = next;
+  }
+  return f;
+}
+
+Status HeapFile::Append(BufferManager* bm, const void* record) {
+  Appender app(bm, this);
+  return app.Append(record);
+}
+
+Status HeapFile::Drop(BufferManager* bm) {
+  for (PageId pid : pages_) {
+    PBITREE_RETURN_IF_ERROR(bm->DeletePage(pid));
+  }
+  pages_.clear();
+  first_page_ = kInvalidPageId;
+  last_page_ = kInvalidPageId;
+  num_records_ = 0;
+  num_pages_ = 0;
+  return Status::OK();
+}
+
+Status HeapFile::Concat(BufferManager* bm, HeapFile* tail) {
+  if (!valid() || !tail->valid()) {
+    return Status::InvalidArgument("Concat: invalid heap file handle");
+  }
+  {
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(last_page_));
+    SetNext(p, tail->first_page_);
+    PBITREE_RETURN_IF_ERROR(bm->UnpinPage(last_page_, /*dirty=*/true));
+  }
+  last_page_ = tail->last_page_;
+  num_records_ += tail->num_records_;
+  num_pages_ += tail->num_pages_;
+  pages_.insert(pages_.end(), tail->pages_.begin(), tail->pages_.end());
+  tail->first_page_ = kInvalidPageId;
+  tail->last_page_ = kInvalidPageId;
+  tail->num_records_ = 0;
+  tail->num_pages_ = 0;
+  tail->pages_.clear();
+  return Status::OK();
+}
+
+Status HeapFile::Appender::Append(const void* record) {
+  if (tail_ == nullptr) {
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm_->FetchPage(file_->last_page_));
+    tail_ = p;
+  }
+  uint16_t count = GetCount(tail_);
+  if (count >= kRecordsPerPage) {
+    // Tail is full: chain a fresh page.
+    PBITREE_ASSIGN_OR_RETURN(Page * np, bm_->NewPage());
+    SetNext(np, kInvalidPageId);
+    SetCount(np, 0);
+    SetNext(tail_, np->page_id());
+    PBITREE_RETURN_IF_ERROR(bm_->UnpinPage(tail_->page_id(), /*dirty=*/true));
+    tail_ = np;
+    file_->last_page_ = np->page_id();
+    file_->pages_.push_back(np->page_id());
+    ++file_->num_pages_;
+    count = 0;
+  }
+  std::memcpy(RecordAt(tail_, count), record, kRecordSize);
+  SetCount(tail_, count + 1);
+  ++file_->num_records_;
+  return Status::OK();
+}
+
+void HeapFile::Appender::Finish() {
+  if (tail_ != nullptr) {
+    bm_->UnpinPage(tail_->page_id(), /*dirty=*/true);
+    tail_ = nullptr;
+  }
+}
+
+bool HeapFile::Scanner::Next(void* out, Status* status) {
+  if (status != nullptr) *status = Status::OK();
+  while (true) {
+    if (cur_ == nullptr) {
+      if (next_page_ == kInvalidPageId) return false;
+      auto res = bm_->FetchPage(next_page_);
+      if (!res.ok()) {
+        if (status != nullptr) *status = res.status();
+        return false;
+      }
+      cur_ = res.value();
+      cur_index_ = 0;
+      cur_count_ = GetCount(cur_);
+      next_page_ = GetNext(cur_);
+    }
+    if (cur_index_ < cur_count_) {
+      std::memcpy(out, RecordAt(cur_, cur_index_), kRecordSize);
+      ++cur_index_;
+      return true;
+    }
+    bm_->UnpinPage(cur_->page_id(), false);
+    cur_ = nullptr;
+  }
+}
+
+void HeapFile::Scanner::Close() {
+  if (cur_ != nullptr) {
+    bm_->UnpinPage(cur_->page_id(), false);
+    cur_ = nullptr;
+  }
+  next_page_ = kInvalidPageId;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,170 @@
+#ifndef PBITREE_STORAGE_HEAP_FILE_H_
+#define PBITREE_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+
+namespace pbitree {
+
+/// \brief A PBiTree-coded XML element as stored on disk.
+///
+/// 16 bytes; 255 records fit in one 4 KiB page. `code` is the PBiTree
+/// code (Section 2 of the paper), `tag` identifies the element name and
+/// `doc` the owning document.
+struct ElementRecord {
+  uint64_t code = 0;
+  uint32_t tag = 0;
+  uint32_t doc = 0;
+
+  friend bool operator==(const ElementRecord&, const ElementRecord&) = default;
+};
+static_assert(sizeof(ElementRecord) == 16);
+
+/// \brief One (ancestor, descendant) output tuple of a containment join.
+struct ResultPair {
+  uint64_t ancestor_code = 0;
+  uint64_t descendant_code = 0;
+
+  friend bool operator==(const ResultPair&, const ResultPair&) = default;
+  friend auto operator<=>(const ResultPair&, const ResultPair&) = default;
+};
+static_assert(sizeof(ResultPair) == 16);
+
+/// \brief Page-chained file of fixed 16-byte records (elements or result
+/// pairs) — the Minibase heap-file stand-in.
+///
+/// All record traffic goes through the buffer manager, so scans and
+/// appends are charged exactly one physical I/O per page miss. The file
+/// handle itself (first/last page, counts) is an in-memory value object;
+/// copying the handle aliases the same on-disk pages.
+class HeapFile {
+ public:
+  static constexpr size_t kRecordSize = 16;
+  /// Page layout: u32 next page id, u16 record count, u16 pad, records.
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kRecordsPerPage = (kPageSize - kHeaderSize) / kRecordSize;
+
+  HeapFile() = default;
+
+  /// Creates an empty file (allocates its first page).
+  static Result<HeapFile> Create(BufferManager* bm);
+
+  /// Re-attaches a handle to an existing on-disk file (e.g. after a
+  /// catalog load) by walking its page chain to rebuild the directory
+  /// and the counts. Costs one read per page.
+  static Result<HeapFile> Attach(BufferManager* bm, PageId first_page);
+
+  bool valid() const { return first_page_ != kInvalidPageId; }
+  PageId first_page() const { return first_page_; }
+  uint64_t num_records() const { return num_records_; }
+  /// ||R|| in the paper's notation: number of disk pages.
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Appends one record. Amortised one page write per kRecordsPerPage
+  /// appends. Prefer Appender for bulk loading (keeps the tail pinned).
+  Status Append(BufferManager* bm, const void* record);
+
+  /// Frees every page of the file. The handle becomes invalid. O(1)
+  /// page I/O: the page list is kept in the handle (a heap-file
+  /// directory), so no chain walk is needed.
+  Status Drop(BufferManager* bm);
+
+  /// Appends the pages of `tail` to this file (O(1) page I/O: links the
+  /// chains and merges the directories). `tail` becomes invalid. Used
+  /// by VPJ partition merging.
+  Status Concat(BufferManager* bm, HeapFile* tail);
+
+  /// \brief Bulk appender holding the tail page pinned between calls.
+  class Appender {
+   public:
+    Appender(BufferManager* bm, HeapFile* file) : bm_(bm), file_(file) {}
+    ~Appender() { Finish(); }
+
+    Appender(const Appender&) = delete;
+    Appender& operator=(const Appender&) = delete;
+
+    Status Append(const void* record);
+    Status AppendElement(const ElementRecord& rec) { return Append(&rec); }
+    Status AppendPair(const ResultPair& rec) { return Append(&rec); }
+
+    /// Unpins the tail page. Called automatically on destruction.
+    void Finish();
+
+   private:
+    BufferManager* bm_;
+    HeapFile* file_;
+    Page* tail_ = nullptr;
+  };
+
+  /// \brief Forward scanner over all records of the file.
+  ///
+  /// Holds at most one page pinned at a time.
+  class Scanner {
+   public:
+    Scanner(BufferManager* bm, const HeapFile& file)
+        : bm_(bm), next_page_(file.first_page_) {}
+    ~Scanner() { Close(); }
+
+    Scanner(const Scanner&) = delete;
+    Scanner& operator=(const Scanner&) = delete;
+
+    /// Copies the next record into `out`; returns false at end of file.
+    /// `status` (optional) receives any I/O error.
+    bool Next(void* out, Status* status = nullptr);
+
+    bool NextElement(ElementRecord* out, Status* status = nullptr) {
+      return Next(out, status);
+    }
+    bool NextPair(ResultPair* out, Status* status = nullptr) {
+      return Next(out, status);
+    }
+
+    void Close();
+
+   private:
+    BufferManager* bm_;
+    PageId next_page_;
+    Page* cur_ = nullptr;
+    size_t cur_index_ = 0;
+    size_t cur_count_ = 0;
+  };
+
+ private:
+  friend class Appender;
+
+  static PageId GetNext(const Page* p) {
+    PageId v;
+    std::memcpy(&v, p->data(), sizeof(v));
+    return v;
+  }
+  static void SetNext(Page* p, PageId v) { std::memcpy(p->data(), &v, sizeof(v)); }
+  static uint16_t GetCount(const Page* p) {
+    uint16_t v;
+    std::memcpy(&v, p->data() + 4, sizeof(v));
+    return v;
+  }
+  static void SetCount(Page* p, uint16_t v) {
+    std::memcpy(p->data() + 4, &v, sizeof(v));
+  }
+  static char* RecordAt(Page* p, size_t i) {
+    return p->data() + kHeaderSize + i * kRecordSize;
+  }
+  static const char* RecordAt(const Page* p, size_t i) {
+    return p->data() + kHeaderSize + i * kRecordSize;
+  }
+
+  PageId first_page_ = kInvalidPageId;
+  PageId last_page_ = kInvalidPageId;
+  uint64_t num_records_ = 0;
+  uint64_t num_pages_ = 0;
+  std::vector<PageId> pages_;  // directory of all pages, in chain order
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,57 @@
+#ifndef PBITREE_STORAGE_PAGE_H_
+#define PBITREE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace pbitree {
+
+/// Identifier of a page within a database file. Page 0 is the database
+/// header page; kInvalidPageId marks "no page" (end of chain, null child).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Size of every on-disk page and buffer-pool frame, in bytes.
+inline constexpr size_t kPageSize = 4096;
+
+/// \brief A raw 4 KiB page image plus buffer-pool bookkeeping.
+///
+/// Pages are owned by the BufferManager; client code receives pinned
+/// Page pointers from BufferManager::FetchPage / NewPage and must unpin
+/// them when done. Typed accessors (heap-file pages, B+-tree nodes) are
+/// overlays interpreting `data()`.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return is_dirty_; }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    is_dirty_ = false;
+    referenced_ = false;
+  }
+
+ private:
+  friend class BufferManager;
+
+  char data_[kPageSize];
+  PageId page_id_;
+  int pin_count_;
+  bool is_dirty_;
+  bool referenced_;  // clock-replacement reference bit
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_STORAGE_PAGE_H_

@@ -1,0 +1,83 @@
+#include "xml/data_tree.h"
+
+#include <cassert>
+
+namespace pbitree {
+
+NodeId DataTree::CreateRoot(std::string_view tag) {
+  assert(nodes_.empty() && "CreateRoot must be the first node");
+  Node n;
+  n.tag = InternTag(tag);
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId DataTree::AddChild(NodeId parent, std::string_view tag) {
+  assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
+  Node n;
+  n.tag = InternTag(tag);
+  n.parent = parent;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void DataTree::AppendText(NodeId node, std::string_view text) {
+  nodes_[node].text.append(text);
+}
+
+TagId DataTree::InternTag(std::string_view name) {
+  auto it = tag_ids_.find(std::string(name));
+  if (it != tag_ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(tag_names_.size());
+  tag_names_.emplace_back(name);
+  tag_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+bool DataTree::FindTag(std::string_view name, TagId* out) const {
+  auto it = tag_ids_.find(std::string(name));
+  if (it == tag_ids_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<NodeId> DataTree::NodesWithTag(TagId tag) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].tag == tag) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+int DataTree::Depth(NodeId id) const {
+  int d = 0;
+  for (NodeId p = nodes_[id].parent; p != kInvalidNodeId; p = nodes_[p].parent) {
+    ++d;
+  }
+  return d;
+}
+
+bool DataTree::IsAncestorNode(NodeId anc, NodeId desc) const {
+  for (NodeId p = nodes_[desc].parent; p != kInvalidNodeId; p = nodes_[p].parent) {
+    if (p == anc) return true;
+  }
+  return false;
+}
+
+size_t DataTree::MaxFanout() const {
+  size_t m = 0;
+  for (const Node& n : nodes_) m = std::max(m, n.children.size());
+  return m;
+}
+
+int DataTree::MaxDepth() const {
+  int m = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    m = std::max(m, Depth(static_cast<NodeId>(i)));
+  }
+  return m;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,90 @@
+#ifndef PBITREE_XML_DATA_TREE_H_
+#define PBITREE_XML_DATA_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pbitree/code.h"
+
+namespace pbitree {
+
+/// Index of a node within a DataTree. Node 0 is always the root.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+/// Interned element-name identifier.
+using TagId = uint32_t;
+
+/// \brief In-memory model of a tree-structured document (Figure 1(b) of
+/// the paper): elements with interned tag names, optional text payload,
+/// parent/child links, and (after binarization) a PBiTree code.
+///
+/// The tree is append-only: nodes are added under an existing parent and
+/// never removed, which matches how the parser and the data generators
+/// build documents.
+class DataTree {
+ public:
+  struct Node {
+    TagId tag = 0;
+    NodeId parent = kInvalidNodeId;
+    std::vector<NodeId> children;
+    std::string text;          // concatenated character data, may be empty
+    Code code = kInvalidCode;  // assigned by BinarizeTree
+  };
+
+  DataTree() = default;
+
+  /// Creates the root node. Must be called exactly once, first.
+  NodeId CreateRoot(std::string_view tag);
+
+  /// Appends a child with the given tag under `parent`.
+  NodeId AddChild(NodeId parent, std::string_view tag);
+
+  /// Appends character data to a node's text payload.
+  void AppendText(NodeId node, std::string_view text);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return nodes_.empty() ? kInvalidNodeId : 0; }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+
+  /// Interns `name`, returning its stable TagId.
+  TagId InternTag(std::string_view name);
+
+  /// Looks up a tag by name; returns false if the tag never occurred.
+  bool FindTag(std::string_view name, TagId* out) const;
+
+  const std::string& tag_name(TagId tag) const { return tag_names_[tag]; }
+  size_t num_tags() const { return tag_names_.size(); }
+
+  /// All nodes with the given tag, in document (pre-)order of creation.
+  std::vector<NodeId> NodesWithTag(TagId tag) const;
+
+  /// Depth of a node (root = 0).
+  int Depth(NodeId id) const;
+
+  /// True iff `anc` is a proper ancestor of `desc` (by parent links —
+  /// the ground truth the coding schemes are tested against).
+  bool IsAncestorNode(NodeId anc, NodeId desc) const;
+
+  /// Maximum number of children of any node.
+  size_t MaxFanout() const;
+
+  /// Maximum node depth.
+  int MaxDepth() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, TagId> tag_ids_;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_XML_DATA_TREE_H_

@@ -1,0 +1,277 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pbitree {
+
+namespace {
+
+/// Cursor over the input with offset-annotated error helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view in) : in_(in) {}
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char Get() { return in_[pos_++]; }
+  size_t pos() const { return pos_; }
+
+  bool StartsWith(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+  void Advance(size_t n) { pos_ += n; }
+
+  /// Skips until after `terminator`; false if it never occurs.
+  bool SkipPast(std::string_view terminator) {
+    size_t at = in_.find(terminator, pos_);
+    if (at == std::string_view::npos) return false;
+    pos_ = at + terminator.size();
+    return true;
+  }
+
+  /// Substring [pos, occurrence of terminator); cursor moves past the
+  /// terminator. Returns false if the terminator never occurs.
+  bool TakeUntil(std::string_view terminator, std::string_view* out) {
+    size_t at = in_.find(terminator, pos_);
+    if (at == std::string_view::npos) return false;
+    *out = in_.substr(pos_, at - pos_);
+    pos_ = at + terminator.size();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::Corruption("XML parse error at byte " +
+                              std::to_string(pos_) + ": " + msg);
+  }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+/// Decodes the predefined entities and numeric character references in
+/// `raw` (bytes > 0x7F from numeric refs are emitted as single bytes).
+std::string DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size();) {
+    if (raw[i] != '&') {
+      out += raw[i++];
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out += raw[i++];  // stray ampersand: keep literally
+      continue;
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "amp") {
+      out += '&';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      long cp = 0;
+      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+        cp = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        cp = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      if (cp > 0 && cp < 256) out += static_cast<char>(cp);
+    } else {
+      out.append("&").append(ent).append(";");  // unknown entity: literal
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+struct Parser {
+  Cursor cur;
+  DataTree* tree;
+  const ParseOptions& opts;
+  std::vector<NodeId> open;  // element stack; empty before the root
+
+  Parser(std::string_view in, DataTree* t, const ParseOptions& o)
+      : cur(in), tree(t), opts(o) {}
+
+  Status ParseMarkup(bool* saw_root) {
+    if (cur.StartsWith("<!--")) {
+      cur.Advance(4);
+      if (!cur.SkipPast("-->")) return cur.Error("unterminated comment");
+      return Status::OK();
+    }
+    if (cur.StartsWith("<![CDATA[")) {
+      cur.Advance(9);
+      std::string_view data;
+      if (!cur.TakeUntil("]]>", &data)) return cur.Error("unterminated CDATA");
+      if (!open.empty() && opts.keep_text) tree->AppendText(open.back(), data);
+      return Status::OK();
+    }
+    if (cur.StartsWith("<?")) {
+      cur.Advance(2);
+      if (!cur.SkipPast("?>")) return cur.Error("unterminated PI");
+      return Status::OK();
+    }
+    if (cur.StartsWith("<!DOCTYPE") || cur.StartsWith("<!doctype")) {
+      // Skip to the matching '>' (internal subsets with nested brackets).
+      cur.Advance(9);
+      int depth = 1;
+      while (!cur.AtEnd() && depth > 0) {
+        char c = cur.Get();
+        if (c == '<') ++depth;
+        if (c == '>') --depth;
+      }
+      if (depth != 0) return cur.Error("unterminated DOCTYPE");
+      return Status::OK();
+    }
+    if (cur.StartsWith("</")) {
+      cur.Advance(2);
+      std::string name;
+      PBITREE_RETURN_IF_ERROR(ParseName(&name));
+      cur.SkipWhitespace();
+      if (cur.AtEnd() || cur.Get() != '>') {
+        return cur.Error("malformed end tag </" + name);
+      }
+      if (open.empty()) return cur.Error("end tag </" + name + "> with no open element");
+      const std::string& expect = tree->tag_name(tree->node(open.back()).tag);
+      if (expect != name) {
+        return cur.Error("mismatched end tag </" + name + ">, expected </" +
+                         expect + ">");
+      }
+      open.pop_back();
+      return Status::OK();
+    }
+    // Start tag.
+    cur.Advance(1);
+    if (cur.AtEnd() || !IsNameStart(cur.Peek())) {
+      return cur.Error("expected element name after '<'");
+    }
+    std::string name;
+    PBITREE_RETURN_IF_ERROR(ParseName(&name));
+
+    NodeId id;
+    if (open.empty()) {
+      if (*saw_root) return cur.Error("multiple root elements");
+      *saw_root = true;
+      id = tree->CreateRoot(name);
+    } else {
+      id = tree->AddChild(open.back(), name);
+    }
+
+    // Attributes.
+    while (true) {
+      cur.SkipWhitespace();
+      if (cur.AtEnd()) return cur.Error("unterminated start tag <" + name);
+      char c = cur.Peek();
+      if (c == '>') {
+        cur.Advance(1);
+        open.push_back(id);
+        return Status::OK();
+      }
+      if (c == '/') {
+        cur.Advance(1);
+        if (cur.AtEnd() || cur.Get() != '>') {
+          return cur.Error("malformed empty-element tag");
+        }
+        return Status::OK();  // self-closing: never opened
+      }
+      if (!IsNameStart(c)) return cur.Error("unexpected character in tag");
+      std::string attr;
+      PBITREE_RETURN_IF_ERROR(ParseName(&attr));
+      cur.SkipWhitespace();
+      if (cur.AtEnd() || cur.Get() != '=') {
+        return cur.Error("attribute '" + attr + "' missing '='");
+      }
+      cur.SkipWhitespace();
+      if (cur.AtEnd()) return cur.Error("attribute '" + attr + "' missing value");
+      char quote = cur.Get();
+      if (quote != '"' && quote != '\'') {
+        return cur.Error("attribute value must be quoted");
+      }
+      std::string_view value;
+      if (!cur.TakeUntil(std::string_view(&quote, 1), &value)) {
+        return cur.Error("unterminated attribute value");
+      }
+      if (opts.attributes_as_nodes) {
+        NodeId a = tree->AddChild(id, "@" + attr);
+        if (opts.keep_text) tree->AppendText(a, DecodeEntities(value));
+      }
+    }
+  }
+
+  Status ParseName(std::string* out) {
+    out->clear();
+    while (!cur.AtEnd() && IsNameChar(cur.Peek())) out->push_back(cur.Get());
+    if (out->empty()) return cur.Error("expected name");
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status ParseXml(std::string_view input, DataTree* tree,
+                const ParseOptions& options) {
+  Parser p(input, tree, options);
+  bool saw_root = false;
+  while (!p.cur.AtEnd()) {
+    if (p.cur.Peek() == '<') {
+      PBITREE_RETURN_IF_ERROR(p.ParseMarkup(&saw_root));
+    } else {
+      size_t begin = p.cur.pos();
+      while (!p.cur.AtEnd() && p.cur.Peek() != '<') p.cur.Get();
+      if (!p.open.empty() && options.keep_text) {
+        std::string_view raw = input.substr(begin, p.cur.pos() - begin);
+        // Pure-whitespace runs between elements are layout, not data.
+        bool all_ws = true;
+        for (char c : raw) {
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            all_ws = false;
+            break;
+          }
+        }
+        if (!all_ws) tree->AppendText(p.open.back(), DecodeEntities(raw));
+      }
+    }
+  }
+  if (!saw_root) return Status::Corruption("XML parse error: no root element");
+  if (!p.open.empty()) {
+    return Status::Corruption(
+        "XML parse error: unclosed element <" +
+        tree->tag_name(tree->node(p.open.back()).tag) + ">");
+  }
+  return Status::OK();
+}
+
+Status ParseXmlFile(const std::string& path, DataTree* tree,
+                    const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  return ParseXml(content, tree, options);
+}
+
+}  // namespace pbitree

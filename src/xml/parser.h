@@ -1,0 +1,39 @@
+#ifndef PBITREE_XML_PARSER_H_
+#define PBITREE_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/data_tree.h"
+
+namespace pbitree {
+
+/// \brief Options for the XML parser.
+struct ParseOptions {
+  /// Attributes become child nodes tagged "@name" holding the value as
+  /// text — the DOM-style "attributes are nodes" view the paper's tree
+  /// model (Figure 1) uses. When false, attributes are skipped.
+  bool attributes_as_nodes = true;
+
+  /// Whether to retain character data in the tree (element structure is
+  /// all the joins need; dropping text halves memory for big documents).
+  bool keep_text = true;
+};
+
+/// \brief Parses a (non-validating, namespace-oblivious) XML document
+/// into a DataTree.
+///
+/// Supported: elements, attributes, character data, CDATA sections,
+/// comments, processing instructions, DOCTYPE (skipped), the five
+/// predefined entities and numeric character references. Exactly one
+/// root element is required. Errors are reported with byte offsets.
+Status ParseXml(std::string_view input, DataTree* tree,
+                const ParseOptions& options = {});
+
+/// Reads `path` and parses it with ParseXml.
+Status ParseXmlFile(const std::string& path, DataTree* tree,
+                    const ParseOptions& options = {});
+
+}  // namespace pbitree
+
+#endif  // PBITREE_XML_PARSER_H_

@@ -1,0 +1,34 @@
+#include "xml/region_encoder.h"
+
+namespace pbitree {
+
+std::vector<Region> EncodeRegions(const DataTree& tree) {
+  std::vector<Region> regions(tree.size());
+  if (tree.empty()) return regions;
+
+  // Iterative DFS assigning Start preorder / End postorder from one
+  // monotone counter.
+  uint64_t counter = 0;
+  struct Frame {
+    NodeId id;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), 0});
+  regions[tree.root()].start = ++counter;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& node = tree.node(f.id);
+    if (f.next_child < node.children.size()) {
+      NodeId c = node.children[f.next_child++];
+      regions[c].start = ++counter;
+      stack.push_back({c, 0});
+    } else {
+      regions[f.id].end = ++counter;
+      stack.pop_back();
+    }
+  }
+  return regions;
+}
+
+}  // namespace pbitree

@@ -1,0 +1,26 @@
+#ifndef PBITREE_XML_REGION_ENCODER_H_
+#define PBITREE_XML_REGION_ENCODER_H_
+
+#include <vector>
+
+#include "pbitree/code.h"
+#include "xml/data_tree.h"
+
+namespace pbitree {
+
+/// \brief The classic document-order region coding of Zhang et al.
+/// [SIGMOD'01] — the baseline scheme PBiTree coding is compared against
+/// (Section 2.3.1 and Section 5 of the paper).
+///
+/// Each element receives (Start, End) from a single depth-first pass:
+/// Start when the element opens, End when it closes. Containment is
+/// a.Start < d.Start && d.End < a.End.
+///
+/// Used by the coding-scheme comparison tests: PBiTree-derived regions
+/// (Lemma 3) must induce exactly the same ancestor-descendant relation
+/// as these document-offset regions.
+std::vector<Region> EncodeRegions(const DataTree& tree);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_XML_REGION_ENCODER_H_

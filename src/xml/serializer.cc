@@ -1,0 +1,101 @@
+#include "xml/serializer.h"
+
+#include <fstream>
+#include <vector>
+
+namespace pbitree {
+
+namespace {
+
+void EscapeInto(std::string_view raw, std::string* out) {
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+bool IsAttributeNode(const DataTree& tree, NodeId id) {
+  const std::string& name = tree.tag_name(tree.node(id).tag);
+  return !name.empty() && name[0] == '@';
+}
+
+void Emit(const DataTree& tree, NodeId id, int depth,
+          const SerializeOptions& opts, std::string* out) {
+  const auto& node = tree.node(id);
+  const std::string& name = tree.tag_name(node.tag);
+
+  auto indent = [&](int d) {
+    if (opts.indent) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+
+  indent(depth);
+  *out += '<';
+  *out += name;
+
+  // Attribute children first.
+  std::vector<NodeId> element_children;
+  for (NodeId c : node.children) {
+    if (IsAttributeNode(tree, c)) {
+      const auto& a = tree.node(c);
+      *out += ' ';
+      *out += tree.tag_name(a.tag).substr(1);
+      *out += "=\"";
+      EscapeInto(a.text, out);
+      *out += '"';
+    } else {
+      element_children.push_back(c);
+    }
+  }
+
+  if (element_children.empty() && node.text.empty()) {
+    *out += "/>";
+    if (opts.indent) *out += '\n';
+    return;
+  }
+  *out += '>';
+
+  if (!node.text.empty()) EscapeInto(node.text, out);
+
+  if (!element_children.empty()) {
+    if (opts.indent) *out += '\n';
+    for (NodeId c : element_children) Emit(tree, c, depth + 1, opts, out);
+    indent(depth);
+  }
+  *out += "</";
+  *out += name;
+  *out += '>';
+  if (opts.indent) *out += '\n';
+}
+
+}  // namespace
+
+std::string SerializeXml(const DataTree& tree, const SerializeOptions& options) {
+  std::string out;
+  if (!tree.empty()) Emit(tree, tree.root(), 0, options, &out);
+  return out;
+}
+
+Status WriteXmlFile(const std::string& path, const DataTree& tree,
+                    const SerializeOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeXml(tree, options);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace pbitree

@@ -1,0 +1,31 @@
+#ifndef PBITREE_XML_SERIALIZER_H_
+#define PBITREE_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/data_tree.h"
+
+namespace pbitree {
+
+/// \brief Options for SerializeXml.
+struct SerializeOptions {
+  /// Pretty-print with two-space indentation; otherwise compact output.
+  bool indent = false;
+};
+
+/// \brief Serializes a DataTree back to XML text.
+///
+/// Nodes tagged "@name" are emitted as attributes of their parent.
+/// Special characters in text are escaped; round-tripping a document
+/// through ParseXml + SerializeXml is structure-preserving (the
+/// round-trip tests rely on this).
+std::string SerializeXml(const DataTree& tree, const SerializeOptions& options = {});
+
+/// Writes SerializeXml output to a file.
+Status WriteXmlFile(const std::string& path, const DataTree& tree,
+                    const SerializeOptions& options = {});
+
+}  // namespace pbitree
+
+#endif  // PBITREE_XML_SERIALIZER_H_

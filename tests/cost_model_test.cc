@@ -1,0 +1,151 @@
+// Tests for the analytical cost model and the cost-based algorithm
+// selection (the paper's Section 6 optimizer outlook): estimates must
+// track measured page I/O on real runs within a small factor, and the
+// cost-based choice must reproduce Table 1 in the canonical cases.
+
+#include "framework/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "framework/runner.h"
+#include "join/element_set.h"
+
+namespace pbitree {
+namespace {
+
+TEST(SortCostTest, InMemoryAndMultiPass) {
+  EXPECT_EQ(SortCostPages(10, 16), 20u);      // fits: read + write
+  EXPECT_EQ(SortCostPages(100, 16), 400u);    // 7 runs, 1 merge pass
+  // 10000 pages, b=16: 625 runs, merge fan-in 15: 15^2 < 625 <= 15^3,
+  // so 3 merge passes -> 4 total passes.
+  EXPECT_EQ(SortCostPages(10000, 16), 2u * 10000 * 4);
+}
+
+TEST(CostModelTest, PartitioningBeatsNaiveSortWhenMemoryIsTight) {
+  CostInputs in;
+  in.a_pages = in.d_pages = 4000;
+  in.a_records = in.d_records = 4000 * 255;
+  in.work_pages = 500;
+  uint64_t partitioned = EstimateJoinIO(Algorithm::kVpj, in);
+  uint64_t naive_sorted = EstimateJoinIO(Algorithm::kStackTree, in);
+  EXPECT_LT(partitioned, naive_sorted);
+  // 3(||A|| + ||D||) exactly.
+  EXPECT_EQ(partitioned, 3u * 8000);
+}
+
+TEST(CostModelTest, SortedInputsFlipTheChoice) {
+  CostInputs in;
+  in.a_pages = in.d_pages = 4000;
+  in.a_records = in.d_records = 4000 * 255;
+  in.work_pages = 500;
+  in.a_sorted = in.d_sorted = true;
+  EXPECT_LT(EstimateJoinIO(Algorithm::kStackTree, in),
+            EstimateJoinIO(Algorithm::kVpj, in));
+  EXPECT_EQ(ChooseAlgorithmCostBased(in, false), Algorithm::kStackTree);
+}
+
+TEST(CostModelTest, SmallOuterWithIndexPrefersInljn) {
+  CostInputs in;
+  in.a_pages = 1;
+  in.a_records = 10;
+  in.d_pages = 4000;
+  in.d_records = 4000 * 255;
+  in.work_pages = 500;
+  in.have_d_code_index = true;
+  // 10 probes against an existing index vs scanning D entirely.
+  EXPECT_EQ(ChooseAlgorithmCostBased(in, true), Algorithm::kInljn);
+}
+
+TEST(CostModelTest, NoAccessPathsPrefersPartitioning) {
+  CostInputs in;
+  in.a_pages = in.d_pages = 4000;
+  in.a_records = in.d_records = 4000 * 255;
+  in.work_pages = 100;
+  Algorithm alg = ChooseAlgorithmCostBased(in, false);
+  EXPECT_TRUE(alg == Algorithm::kVpj || alg == Algorithm::kMhcjRollup);
+  EXPECT_EQ(ChooseAlgorithmCostBased(in, true), Algorithm::kShcj);
+}
+
+TEST(CostModelTest, InMemoryDiscountApplies) {
+  CostInputs in;
+  in.a_pages = 10;
+  in.d_pages = 4000;
+  in.a_records = 2550;
+  in.d_records = 4000 * 255;
+  in.work_pages = 500;  // A fits: one pass over each input
+  EXPECT_EQ(EstimateJoinIO(Algorithm::kMhcjRollup, in), 4010u);
+}
+
+class CostVsMeasuredTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 64);
+
+    Random rng(4);
+    PBiTreeSpec spec{20};
+    std::unordered_set<Code> seen;
+    auto make = [&](int n, int min_h, int max_h) {
+      auto b = ElementSetBuilder::Create(bm_.get(), spec);
+      EXPECT_TRUE(b.ok());
+      int added = 0;
+      while (added < n) {
+        Code c = rng.UniformRange(1, spec.MaxCode());
+        int h = HeightOf(c);
+        if (h < min_h || h > max_h || !seen.insert(c).second) continue;
+        EXPECT_TRUE(b->AddCode(c).ok());
+        ++added;
+      }
+      return b->Build();
+    };
+    a_ = make(20000, 4, 12);
+    d_ = make(30000, 0, 3);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+  ElementSet a_, d_;
+};
+
+TEST_F(CostVsMeasuredTest, EstimatesTrackMeasuredIO) {
+  RunOptions opts;
+  opts.work_pages = 16;
+  opts.cold_cache = true;
+  CostInputs in = CostInputs::FromSets(a_, d_, opts.work_pages);
+
+  for (Algorithm alg :
+       {Algorithm::kMhcjRollup, Algorithm::kVpj, Algorithm::kStackTree}) {
+    CountingSink sink;
+    auto run = RunJoin(alg, bm_.get(), a_, d_, &sink, opts);
+    ASSERT_TRUE(run.ok()) << AlgorithmName(alg);
+    uint64_t est = EstimateJoinIO(alg, in);
+    uint64_t meas = run->TotalIO();
+    EXPECT_LT(est, meas * 3) << AlgorithmName(alg) << " est " << est
+                             << " meas " << meas;
+    EXPECT_LT(meas, est * 3) << AlgorithmName(alg) << " est " << est
+                             << " meas " << meas;
+  }
+}
+
+TEST_F(CostVsMeasuredTest, CostBasedChoiceIsNoWorseThanTable1) {
+  RunOptions opts;
+  opts.work_pages = 16;
+  opts.cold_cache = true;
+  CostInputs in = CostInputs::FromSets(a_, d_, opts.work_pages);
+  Algorithm chosen = ChooseAlgorithmCostBased(in, a_.SingleHeight());
+
+  CountingSink s1, s2;
+  auto chosen_run = RunJoin(chosen, bm_.get(), a_, d_, &s1, opts);
+  auto table1_run = RunJoin(Algorithm::kVpj, bm_.get(), a_, d_, &s2, opts);
+  ASSERT_TRUE(chosen_run.ok() && table1_run.ok());
+  EXPECT_EQ(chosen_run->output_pairs, table1_run->output_pairs);
+  EXPECT_LE(chosen_run->TotalIO(), table1_run->TotalIO() * 2);
+}
+
+}  // namespace
+}  // namespace pbitree

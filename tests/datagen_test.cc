@@ -1,0 +1,228 @@
+// Tests for the data generators: the synthetic datasets match their
+// specs (heights, sizes, selectivity bands), the 16 canonical datasets
+// are well-formed, and the XMark-like / DBLP-like documents binarize
+// and answer their benchmark joins consistently across algorithms.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/synthetic.h"
+#include "datagen/xmark_gen.h"
+#include "framework/runner.h"
+#include "join/element_set.h"
+#include "pbitree/binarize.h"
+
+namespace pbitree {
+namespace {
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 256);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(DatagenTest, SyntheticRespectsHeightsAndCounts) {
+  SyntheticSpec spec;
+  spec.a_count = 2000;
+  spec.d_count = 5000;
+  spec.a_heights = {10, 11};
+  spec.d_heights = {2, 3, 4};
+  spec.match_fraction = 0.8;
+  auto ds = GenerateSynthetic(bm_.get(), spec);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->a.num_records(), 2000u);
+  EXPECT_EQ(ds->d.num_records(), 5000u);
+  EXPECT_EQ(ds->a.Heights(), (std::vector<int>{10, 11}));
+  EXPECT_EQ(ds->d.Heights(), (std::vector<int>{2, 3, 4}));
+  EXPECT_FALSE(ds->a.sorted_by_start);
+}
+
+TEST_F(DatagenTest, SyntheticSelectivityScalesWithMatchFraction) {
+  auto count_results = [&](double mf) -> uint64_t {
+    SyntheticSpec spec;
+    spec.a_count = 3000;
+    spec.d_count = 3000;
+    spec.match_fraction = mf;
+    spec.seed = 99;
+    auto ds = GenerateSynthetic(bm_.get(), spec);
+    EXPECT_TRUE(ds.ok());
+    CountingSink sink;
+    RunOptions opts;
+    opts.work_pages = 64;
+    auto run = RunJoin(Algorithm::kMhcjRollup, bm_.get(), ds->a, ds->d, &sink,
+                       opts);
+    EXPECT_TRUE(run.ok());
+    return run->output_pairs;
+  };
+  uint64_t high = count_results(0.9);
+  uint64_t low = count_results(0.09);
+  // High selectivity plants ~10x the matches of low.
+  EXPECT_GT(high, 5 * low);
+  EXPECT_GT(low, 0u);
+  // ~90% of 3000 descendants matched (accidental extras possible).
+  EXPECT_GT(high, 2400u);
+  EXPECT_LT(high, 3600u);
+}
+
+TEST_F(DatagenTest, SyntheticIsDeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.a_count = 500;
+  spec.d_count = 500;
+  spec.seed = 7;
+  auto d1 = GenerateSynthetic(bm_.get(), spec);
+  auto d2 = GenerateSynthetic(bm_.get(), spec);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  HeapFile::Scanner s1(bm_.get(), d1->a.file), s2(bm_.get(), d2->a.file);
+  ElementRecord r1, r2;
+  while (s1.NextElement(&r1)) {
+    ASSERT_TRUE(s2.NextElement(&r2));
+    EXPECT_EQ(r1.code, r2.code);
+  }
+  EXPECT_FALSE(s2.NextElement(&r2));
+}
+
+TEST_F(DatagenTest, SyntheticRejectsOvercrowdedLevels) {
+  SyntheticSpec spec;
+  spec.tree_height = 10;
+  spec.a_count = 10000;  // far beyond 2^9 slots
+  auto ds = GenerateSynthetic(bm_.get(), spec);
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatagenTest, SixteenCanonicalSpecsAreWellFormed) {
+  auto specs = CanonicalSyntheticSpecs(0.002);
+  ASSERT_EQ(specs.size(), 16u);
+  for (const auto& named : specs) {
+    SCOPED_TRACE(named.name);
+    ASSERT_EQ(named.name.size(), 4u);
+    bool multi = named.name[0] == 'M';
+    EXPECT_EQ(named.spec.a_heights.size() > 1, multi);
+    auto ds = GenerateSynthetic(bm_.get(), named.spec);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    // Size letters: position 1 = A, position 2 = D; L = 100x S.
+    uint64_t large = static_cast<uint64_t>(1000000 * 0.002);
+    uint64_t small = static_cast<uint64_t>(10000 * 0.002);
+    EXPECT_EQ(ds->a.num_records(), named.name[1] == 'L' ? large : small);
+    EXPECT_EQ(ds->d.num_records(), named.name[2] == 'L' ? large : small);
+    ASSERT_TRUE(ds->a.file.Drop(bm_.get()).ok());
+    ASSERT_TRUE(ds->d.file.Drop(bm_.get()).ok());
+  }
+  EXPECT_TRUE(CanonicalSpecByName("MLLH", 0.01).ok());
+  EXPECT_EQ(CanonicalSpecByName("XXXX", 0.01).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatagenTest, XmarkGeneratesTheAuctionSchema) {
+  DataTree tree;
+  XmarkOptions opts;
+  opts.scale_factor = 0.01;
+  ASSERT_TRUE(GenerateXmark(&tree, opts).ok());
+  EXPECT_GT(tree.size(), 2000u);
+  EXPECT_EQ(tree.tag_name(tree.node(tree.root()).tag), "site");
+
+  TagId tag;
+  for (const char* name : {"item", "person", "open_auction", "closed_auction",
+                           "category", "keyword", "bidder", "description"}) {
+    EXPECT_TRUE(tree.FindTag(name, &tag)) << name;
+  }
+  // SF-scaled cardinalities.
+  ASSERT_TRUE(tree.FindTag("item", &tag));
+  EXPECT_EQ(tree.NodesWithTag(tag).size(), 217u);
+  ASSERT_TRUE(tree.FindTag("person", &tag));
+  EXPECT_EQ(tree.NodesWithTag(tag).size(), 255u);
+
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  EXPECT_LE(spec.height, 63);
+}
+
+TEST_F(DatagenTest, XmarkJoinsAgreeAcrossAlgorithms) {
+  DataTree tree;
+  XmarkOptions gen_opts;
+  gen_opts.scale_factor = 0.01;
+  ASSERT_TRUE(GenerateXmark(&tree, gen_opts).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  for (const TagJoinSpec& join : XmarkJoins()) {
+    SCOPED_TRACE(join.name);
+    auto a = ExtractTagSetByName(bm_.get(), tree, spec, join.ancestor_tag);
+    auto d = ExtractTagSetByName(bm_.get(), tree, spec, join.descendant_tag);
+    ASSERT_TRUE(a.ok()) << join.ancestor_tag;
+    ASSERT_TRUE(d.ok()) << join.descendant_tag;
+
+    RunOptions opts;
+    opts.work_pages = 32;
+    uint64_t reference = 0;
+    bool first = true;
+    for (Algorithm alg : {Algorithm::kVpj, Algorithm::kMhcjRollup,
+                          Algorithm::kStackTree, Algorithm::kInljn,
+                          Algorithm::kAdb}) {
+      CountingSink sink;
+      auto run = RunJoin(alg, bm_.get(), *a, *d, &sink, opts);
+      ASSERT_TRUE(run.ok()) << AlgorithmName(alg) << ": "
+                            << run.status().ToString();
+      if (first) {
+        reference = run->output_pairs;
+        first = false;
+      } else {
+        EXPECT_EQ(run->output_pairs, reference) << AlgorithmName(alg);
+      }
+    }
+    ASSERT_TRUE(a->file.Drop(bm_.get()).ok());
+    ASSERT_TRUE(d->file.Drop(bm_.get()).ok());
+  }
+}
+
+TEST_F(DatagenTest, DblpGeneratesTheBibliographySchema) {
+  DataTree tree;
+  DblpOptions opts;
+  opts.num_publications = 3000;
+  ASSERT_TRUE(GenerateDblp(&tree, opts).ok());
+  EXPECT_EQ(tree.tag_name(tree.node(tree.root()).tag), "dblp");
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 3000u);
+  TagId tag;
+  for (const char* name :
+       {"article", "inproceedings", "author", "title", "year"}) {
+    EXPECT_TRUE(tree.FindTag(name, &tag)) << name;
+  }
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+}
+
+TEST_F(DatagenTest, DblpJoinsAgreeAcrossAlgorithms) {
+  DataTree tree;
+  DblpOptions gen_opts;
+  gen_opts.num_publications = 4000;
+  ASSERT_TRUE(GenerateDblp(&tree, gen_opts).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  for (const TagJoinSpec& join : DblpJoins()) {
+    SCOPED_TRACE(join.name);
+    auto a = ExtractTagSetByName(bm_.get(), tree, spec, join.ancestor_tag);
+    auto d = ExtractTagSetByName(bm_.get(), tree, spec, join.descendant_tag);
+    if (!a.ok() || !d.ok()) continue;  // rare tags may miss at small scale
+
+    RunOptions opts;
+    opts.work_pages = 32;
+    CountingSink s1, s2;
+    auto vpj = RunJoin(Algorithm::kVpj, bm_.get(), *a, *d, &s1, opts);
+    auto stk = RunJoin(Algorithm::kStackTree, bm_.get(), *a, *d, &s2, opts);
+    ASSERT_TRUE(vpj.ok() && stk.ok());
+    EXPECT_EQ(vpj->output_pairs, stk->output_pairs);
+    ASSERT_TRUE(a->file.Drop(bm_.get()).ok());
+    ASSERT_TRUE(d->file.Drop(bm_.get()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace pbitree

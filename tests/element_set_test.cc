@@ -1,0 +1,135 @@
+// Tests for ElementSet metadata (height masks) and tag extraction from
+// binarized documents, plus the result sinks.
+
+#include "join/element_set.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "join/result_sink.h"
+#include "pbitree/binarize.h"
+#include "xml/parser.h"
+
+namespace pbitree {
+namespace {
+
+class ElementSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 32);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(ElementSetTest, HeightMaskTracksHeights) {
+  auto b = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{8});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->AddCode(1).ok());    // height 0
+  ASSERT_TRUE(b->AddCode(4).ok());    // height 2
+  ASSERT_TRUE(b->AddCode(12).ok());   // height 2
+  ASSERT_TRUE(b->AddCode(32).ok());   // height 5
+  ElementSet s = b->Build();
+  EXPECT_EQ(s.num_records(), 4u);
+  EXPECT_FALSE(s.SingleHeight());
+  EXPECT_EQ(s.NumHeights(), 3);
+  EXPECT_EQ(s.MinHeight(), 0);
+  EXPECT_EQ(s.MaxHeight(), 5);
+  EXPECT_EQ(s.Heights(), (std::vector<int>{0, 2, 5}));
+}
+
+TEST_F(ElementSetTest, SingleHeightDetection) {
+  auto b = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{8});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->AddCode(4).ok());
+  ASSERT_TRUE(b->AddCode(12).ok());
+  ElementSet s = b->Build();
+  EXPECT_TRUE(s.SingleHeight());
+  EXPECT_EQ(s.MinHeight(), 2);
+  EXPECT_EQ(s.MaxHeight(), 2);
+}
+
+TEST_F(ElementSetTest, RejectsInvalidCodes) {
+  auto b = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{4});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->AddCode(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b->AddCode(16).code(), StatusCode::kInvalidArgument);  // > 2^4-1
+  EXPECT_TRUE(b->AddCode(15).ok());
+}
+
+TEST_F(ElementSetTest, ExtractTagSetFromBinarizedDocument) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml(
+      "<dblp><article><author/><author/></article>"
+      "<article><author/></article><book><author/></book></dblp>",
+      &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  auto articles = ExtractTagSetByName(bm_.get(), tree, spec, "article");
+  auto authors = ExtractTagSetByName(bm_.get(), tree, spec, "author");
+  ASSERT_TRUE(articles.ok());
+  ASSERT_TRUE(authors.ok());
+  EXPECT_EQ(articles->num_records(), 2u);
+  EXPECT_EQ(authors->num_records(), 4u);
+  EXPECT_EQ(articles->spec, spec);
+
+  auto missing = ExtractTagSetByName(bm_.get(), tree, spec, "nothere");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ElementSetTest, ExtractRequiresBinarizedTree) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &tree).ok());
+  auto set = ExtractTagSetByName(bm_.get(), tree, PBiTreeSpec{4}, "b");
+  EXPECT_EQ(set.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultSinkTest, CountingSinkCounts) {
+  CountingSink sink;
+  ASSERT_TRUE(sink.OnPair(4, 1).ok());
+  ASSERT_TRUE(sink.OnPair(4, 3).ok());
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(ResultSinkTest, VectorSinkCollectsAndSorts) {
+  VectorSink sink;
+  ASSERT_TRUE(sink.OnPair(8, 3).ok());
+  ASSERT_TRUE(sink.OnPair(4, 1).ok());
+  sink.Sort();
+  ASSERT_EQ(sink.pairs().size(), 2u);
+  EXPECT_EQ(sink.pairs()[0], (ResultPair{4, 1}));
+}
+
+TEST(ResultSinkTest, VerifyingSinkRejectsBadPairs) {
+  CountingSink inner;
+  VerifyingSink sink(&inner);
+  EXPECT_TRUE(sink.OnPair(4, 1).ok());             // 4 is ancestor of 1
+  EXPECT_EQ(sink.OnPair(1, 4).code(), StatusCode::kInternal);
+  EXPECT_EQ(sink.OnPair(4, 4).code(), StatusCode::kInternal);
+  EXPECT_EQ(inner.count(), 1u);
+}
+
+TEST_F(ElementSetTest, MaterializeSinkWritesPairs) {
+  auto out = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(out.ok());
+  {
+    MaterializeSink sink(bm_.get(), &out.value());
+    ASSERT_TRUE(sink.OnPair(4, 1).ok());
+    ASSERT_TRUE(sink.OnPair(4, 3).ok());
+    sink.Finish();
+  }
+  HeapFile::Scanner scan(bm_.get(), *out);
+  ResultPair pair;
+  ASSERT_TRUE(scan.NextPair(&pair));
+  EXPECT_EQ(pair, (ResultPair{4, 1}));
+  ASSERT_TRUE(scan.NextPair(&pair));
+  EXPECT_EQ(pair, (ResultPair{4, 3}));
+  EXPECT_FALSE(scan.NextPair(&pair));
+}
+
+}  // namespace
+}  // namespace pbitree

@@ -1,0 +1,171 @@
+// Tests for the path-query layer: parsing, multi-step evaluation via
+// chained containment joins, distinct-descendant semantics, and
+// agreement with a brute-force DataTree walk.
+
+#include "query/path_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "datagen/xmark_gen.h"
+#include "pbitree/binarize.h"
+#include "xml/parser.h"
+
+namespace pbitree {
+namespace {
+
+TEST(ParsePathQueryTest, ParsesDescendantSteps) {
+  auto q = ParsePathQuery("//site//open_auction//bidder");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->steps,
+            (std::vector<std::string>{"site", "open_auction", "bidder"}));
+}
+
+TEST(ParsePathQueryTest, SingleStep) {
+  auto q = ParsePathQuery("//dblp");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->steps.size(), 1u);
+}
+
+TEST(ParsePathQueryTest, RejectsBadInput) {
+  EXPECT_EQ(ParsePathQuery("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePathQuery("/a/b").status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(ParsePathQuery("a//b").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePathQuery("//a[1]").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(ParsePathQuery("//a//").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+class PathQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 128);
+  }
+
+  /// Brute-force reference: distinct nodes with tag path[n-1] that have
+  /// a chain of ancestors matching path[0..n-2].
+  std::set<Code> BruteForce(const DataTree& tree,
+                            const std::vector<std::string>& steps) {
+    std::set<Code> out;
+    TagId last_tag;
+    if (!tree.FindTag(steps.back(), &last_tag)) return out;
+    for (NodeId node : tree.NodesWithTag(last_tag)) {
+      // Walk up collecting tags, then check the chain subsequence.
+      std::vector<TagId> up;
+      for (NodeId p = tree.node(node).parent; p != kInvalidNodeId;
+           p = tree.node(p).parent) {
+        up.push_back(tree.node(p).tag);
+      }
+      std::reverse(up.begin(), up.end());  // root-first ancestor tags
+      size_t need = 0;
+      for (TagId t : up) {
+        if (need + 1 < steps.size()) {
+          TagId want;
+          if (tree.FindTag(steps[need], &want) && t == want) ++need;
+        }
+      }
+      if (need + 1 >= steps.size()) out.insert(tree.node(node).code);
+    }
+    return out;
+  }
+
+  void CheckQuery(const DataTree& tree, const PBiTreeSpec& spec,
+                  const std::string& text) {
+    auto q = ParsePathQuery(text);
+    ASSERT_TRUE(q.ok());
+    RunOptions opts;
+    opts.work_pages = 32;
+    PathQueryStats stats;
+    auto result = EvaluatePathQuery(bm_.get(), tree, spec, *q, opts, &stats);
+    ASSERT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+
+    std::set<Code> got;
+    HeapFile::Scanner scan(bm_.get(), result->file);
+    ElementRecord rec;
+    while (scan.NextElement(&rec)) got.insert(rec.code);
+    EXPECT_EQ(got, BruteForce(tree, q->steps)) << text;
+    EXPECT_EQ(stats.final_count, got.size());
+    EXPECT_EQ(stats.joins.size(), q->steps.size() - 1);
+    ASSERT_TRUE(result->file.Drop(bm_.get()).ok());
+    EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(PathQueryTest, HandWrittenDocument) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml(
+      "<lib>"
+      "<section><title/><section><figure/><figure/></section></section>"
+      "<section><figure/></section>"
+      "<appendix><figure/></appendix>"
+      "</lib>",
+      &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  CheckQuery(tree, spec, "//section//figure");
+  CheckQuery(tree, spec, "//lib//section");
+  CheckQuery(tree, spec, "//section//section//figure");
+  CheckQuery(tree, spec, "//lib//section//figure");
+}
+
+TEST_F(PathQueryTest, SingleStepIsJustExtraction) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml("<a><b/><b/><c/></a>", &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  CheckQuery(tree, spec, "//b");
+}
+
+TEST_F(PathQueryTest, MissingTagIsNotFound) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  auto q = ParsePathQuery("//a//nope");
+  ASSERT_TRUE(q.ok());
+  RunOptions opts;
+  opts.work_pages = 16;
+  auto result = EvaluatePathQuery(bm_.get(), tree, spec, *q, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(PathQueryTest, DeepPathOnXmarkDocument) {
+  DataTree tree;
+  XmarkOptions gen;
+  gen.scale_factor = 0.02;
+  ASSERT_TRUE(GenerateXmark(&tree, gen).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  CheckQuery(tree, spec, "//open_auction//annotation//keyword");
+  CheckQuery(tree, spec, "//site//item//keyword");
+  CheckQuery(tree, spec, "//regions//item//mail//text");
+}
+
+TEST_F(PathQueryTest, RepeatedTagSelfNesting) {
+  // //text//text over XMark's recursive text blocks: distinctness of
+  // intermediate results matters here (a text under two open_auctions
+  // must not be counted twice).
+  DataTree tree;
+  XmarkOptions gen;
+  gen.scale_factor = 0.02;
+  ASSERT_TRUE(GenerateXmark(&tree, gen).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  CheckQuery(tree, spec, "//description//text//keyword");
+}
+
+}  // namespace
+}  // namespace pbitree

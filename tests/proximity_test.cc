@@ -1,0 +1,160 @@
+// Tests for the proximity join: same-subtree semantics against brute
+// force, across memory budgets, plus the document-level interpretation
+// ("figures and tables in the same section").
+
+#include "join/proximity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "join/result_sink.h"
+#include "pbitree/binarize.h"
+#include "xml/parser.h"
+
+namespace pbitree {
+namespace {
+
+constexpr int kH = 14;
+
+class ProximityTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 128);
+  }
+
+  ElementSet MakeSet(const std::vector<Code>& codes) {
+    auto b = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{kH});
+    EXPECT_TRUE(b.ok());
+    for (Code c : codes) EXPECT_TRUE(b->AddCode(c).ok());
+    return b->Build();
+  }
+
+  static std::vector<ResultPair> BruteForce(const std::vector<Code>& x,
+                                            const std::vector<Code>& y, int h) {
+    std::vector<ResultPair> out;
+    for (Code a : x) {
+      if (HeightOf(a) > h) continue;
+      for (Code b : y) {
+        if (HeightOf(b) > h || a == b) continue;
+        if (AncestorAtHeight(a, h) == AncestorAtHeight(b, h)) {
+          out.push_back({a, b});
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void CheckJoin(const std::vector<Code>& x_codes,
+                 const std::vector<Code>& y_codes, int h) {
+    ElementSet x = MakeSet(x_codes);
+    ElementSet y = MakeSet(y_codes);
+    VectorSink sink;
+    JoinContext ctx(bm_.get(), GetParam());
+    ASSERT_TRUE(ProximityJoin(&ctx, x, y, h, &sink).ok());
+    sink.Sort();
+    EXPECT_EQ(sink.pairs(), BruteForce(x_codes, y_codes, h));
+    EXPECT_EQ(bm_->PinnedFrames(), 0u);
+    ASSERT_TRUE(x.file.Drop(bm_.get()).ok());
+    ASSERT_TRUE(y.file.Drop(bm_.get()).ok());
+  }
+
+  std::vector<Code> RandomCodes(Random* rng, int n) {
+    std::unordered_set<Code> seen;
+    std::vector<Code> out;
+    PBiTreeSpec spec{kH};
+    while (static_cast<int>(out.size()) < n) {
+      Code c = rng->UniformRange(1, spec.MaxCode());
+      if (seen.insert(c).second) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_P(ProximityTest, RandomSetsMatchBruteForce) {
+  Random rng(71);
+  for (int h : {3, 6, 10}) {
+    CheckJoin(RandomCodes(&rng, 400), RandomCodes(&rng, 500), h);
+  }
+}
+
+TEST_P(ProximityTest, SelfJoinEmitsOrderedPairsBothWays) {
+  Random rng(72);
+  std::vector<Code> codes = RandomCodes(&rng, 300);
+  ElementSet x = MakeSet(codes);
+  ElementSet y = MakeSet(codes);
+  VectorSink sink;
+  JoinContext ctx(bm_.get(), GetParam());
+  ASSERT_TRUE(ProximityJoin(&ctx, x, y, 6, &sink).ok());
+  // Every unordered pair appears exactly twice (both directions),
+  // never reflexively.
+  for (const ResultPair& p : sink.pairs()) {
+    EXPECT_NE(p.ancestor_code, p.descendant_code);
+  }
+  EXPECT_EQ(sink.pairs().size() % 2, 0u);
+}
+
+TEST_P(ProximityTest, ValidatesHeightRange) {
+  Random rng(73);
+  ElementSet x = MakeSet(RandomCodes(&rng, 10));
+  ElementSet y = MakeSet(RandomCodes(&rng, 10));
+  CountingSink sink;
+  JoinContext ctx(bm_.get(), GetParam());
+  EXPECT_EQ(ProximityJoin(&ctx, x, y, 0, &sink).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ProximityJoin(&ctx, x, y, kH, &sink).code(),
+            StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ProximityTest, ::testing::Values(4, 64));
+
+TEST(ProximityDocumentTest, FiguresAndTablesInTheSameSection) {
+  // The motivating use: find (figure, table) pairs inside one section.
+  // Sections are the children of the root; with the binarization
+  // heuristic they sit on one level, so "same section" = same subtree
+  // at the sections' own height.
+  DataTree tree;
+  ASSERT_TRUE(ParseXml(
+      "<doc>"
+      "<section><figure id=\"f1\"/><table id=\"t1\"/><figure id=\"f2\"/></section>"
+      "<section><figure id=\"f3\"/></section>"
+      "<section><table id=\"t2\"/></section>"
+      "</doc>",
+      &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  BufferManager bm(disk.get(), 32);
+  auto figures = ExtractTagSetByName(&bm, tree, spec, "figure");
+  auto tables = ExtractTagSetByName(&bm, tree, spec, "table");
+  ASSERT_TRUE(figures.ok() && tables.ok());
+
+  // Sections' height: read it off any section element.
+  TagId section_tag;
+  ASSERT_TRUE(tree.FindTag("section", &section_tag));
+  int section_height = HeightOf(tree.node(tree.NodesWithTag(section_tag)[0]).code);
+
+  VectorSink sink;
+  JoinContext ctx(&bm, 16);
+  ASSERT_TRUE(
+      ProximityJoin(&ctx, *figures, *tables, section_height, &sink).ok());
+  // f1 and f2 pair with t1; f3 and t2 have no partner: 2 pairs.
+  EXPECT_EQ(sink.pairs().size(), 2u);
+  for (const ResultPair& p : sink.pairs()) {
+    EXPECT_EQ(AncestorAtHeight(p.ancestor_code, section_height),
+              AncestorAtHeight(p.descendant_code, section_height));
+  }
+}
+
+}  // namespace
+}  // namespace pbitree

@@ -1,0 +1,207 @@
+// Tests for the R-tree spatial substrate and the spatial containment
+// joins: window/quadrant queries against brute force, probe and
+// synchronized-traversal joins against the brute-force pair set.
+
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "join/element_set.h"
+#include "join/result_sink.h"
+#include "join/spatial_join.h"
+
+namespace pbitree {
+namespace {
+
+constexpr int kH = 18;
+
+class RTreeTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 64);
+  }
+
+  std::vector<Code> MakeCodes(int n, uint64_t seed) {
+    Random rng(seed);
+    PBiTreeSpec spec{kH};
+    std::unordered_set<Code> seen;
+    std::vector<Code> codes;
+    while (static_cast<int>(codes.size()) < n) {
+      Code c = rng.UniformRange(1, spec.MaxCode());
+      if (seen.insert(c).second) codes.push_back(c);
+    }
+    return codes;
+  }
+
+  HeapFile MakeFile(const std::vector<Code>& codes) {
+    auto file = HeapFile::Create(bm_.get());
+    EXPECT_TRUE(file.ok());
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (Code c : codes) {
+      EXPECT_TRUE(app.AppendElement(ElementRecord{c, 0, 0}).ok());
+    }
+    app.Finish();
+    return *file;
+  }
+
+  ElementSet MakeSet(const std::vector<Code>& codes) {
+    auto b = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{kH});
+    EXPECT_TRUE(b.ok());
+    for (Code c : codes) EXPECT_TRUE(b->AddCode(c).ok());
+    return b->Build();
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_P(RTreeTest, WindowQueriesMatchBruteForce) {
+  const int n = GetParam();
+  std::vector<Code> codes = MakeCodes(n, 5);
+  HeapFile file = MakeFile(codes);
+  auto tree = RTree::BulkLoad(bm_.get(), file);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->num_entries(), static_cast<uint64_t>(n));
+
+  Random rng(6);
+  PBiTreeSpec spec{kH};
+  for (int q = 0; q < 60; ++q) {
+    uint64_t x_lo = rng.UniformRange(0, spec.MaxCode());
+    uint64_t x_hi = x_lo + rng.Uniform(spec.MaxCode() / 4 + 1);
+    uint64_t y_lo = rng.UniformRange(0, spec.MaxCode());
+    uint64_t y_hi = y_lo + rng.Uniform(spec.MaxCode() / 4 + 1);
+
+    std::vector<Code> expect;
+    for (Code c : codes) {
+      uint64_t x = StartOf(c), y = EndOf(c);
+      if (x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi) {
+        expect.push_back(c);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    std::vector<Code> got;
+    ASSERT_TRUE(tree->Window(bm_.get(), x_lo, x_hi, y_lo, y_hi,
+                             [&](const ElementRecord& r) {
+                               got.push_back(r.code);
+                             })
+                    .ok());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+  }
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_P(RTreeTest, QuadrantQueriesAreExactAncestorsAndDescendants) {
+  const int n = GetParam();
+  std::vector<Code> codes = MakeCodes(n, 7);
+  HeapFile file = MakeFile(codes);
+  auto tree = RTree::BulkLoad(bm_.get(), file);
+  ASSERT_TRUE(tree.ok());
+
+  Random rng(8);
+  PBiTreeSpec spec{kH};
+  for (int q = 0; q < 40; ++q) {
+    Code probe = rng.UniformRange(1, spec.MaxCode());
+    std::vector<Code> anc_expect, desc_expect;
+    for (Code c : codes) {
+      if (IsAncestor(c, probe)) anc_expect.push_back(c);
+      if (IsAncestor(probe, c)) desc_expect.push_back(c);
+    }
+    std::sort(anc_expect.begin(), anc_expect.end());
+    std::sort(desc_expect.begin(), desc_expect.end());
+
+    std::vector<Code> anc_got, desc_got;
+    ASSERT_TRUE(tree->AncestorsOf(bm_.get(), probe,
+                                  [&](const ElementRecord& r) {
+                                    anc_got.push_back(r.code);
+                                  })
+                    .ok());
+    ASSERT_TRUE(tree->DescendantsOf(bm_.get(), probe,
+                                    [&](const ElementRecord& r) {
+                                      desc_got.push_back(r.code);
+                                    })
+                    .ok());
+    std::sort(anc_got.begin(), anc_got.end());
+    std::sort(desc_got.begin(), desc_got.end());
+    EXPECT_EQ(anc_got, anc_expect);
+    EXPECT_EQ(desc_got, desc_expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeTest, ::testing::Values(0, 1, 300, 30000));
+
+using SpatialJoinTest = RTreeTest;
+
+TEST_F(SpatialJoinTest, ProbeAndSyncJoinsMatchBruteForce) {
+  std::vector<Code> a_codes = MakeCodes(600, 11);
+  std::vector<Code> d_codes = MakeCodes(900, 12);
+  ElementSet a = MakeSet(a_codes);
+  ElementSet d = MakeSet(d_codes);
+  auto a_tree = RTree::BulkLoad(bm_.get(), a.file);
+  auto d_tree = RTree::BulkLoad(bm_.get(), d.file);
+  ASSERT_TRUE(a_tree.ok() && d_tree.ok());
+
+  std::vector<ResultPair> expect;
+  for (Code x : a_codes) {
+    for (Code y : d_codes) {
+      if (IsAncestor(x, y)) expect.push_back({x, y});
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+
+  {
+    VectorSink collected;
+    VerifyingSink sink(&collected);
+    JoinContext ctx(bm_.get(), 16);
+    ASSERT_TRUE(RTreeProbeJoin(&ctx, a, d, &a_tree.value(), &d_tree.value(),
+                               &sink)
+                    .ok());
+    collected.Sort();
+    EXPECT_EQ(collected.pairs(), expect);
+  }
+  {
+    VectorSink collected;
+    VerifyingSink sink(&collected);
+    JoinContext ctx(bm_.get(), 16);
+    ASSERT_TRUE(
+        RTreeSyncJoin(&ctx, *a_tree, *d_tree, &sink).ok());
+    collected.Sort();
+    EXPECT_EQ(collected.pairs(), expect);
+  }
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(SpatialJoinTest, ProbeJoinPicksTheAvailableDirection) {
+  ElementSet a = MakeSet(MakeCodes(100, 13));
+  ElementSet d = MakeSet(MakeCodes(100, 14));
+  auto d_tree = RTree::BulkLoad(bm_.get(), d.file);
+  ASSERT_TRUE(d_tree.ok());
+  CountingSink s1;
+  JoinContext ctx(bm_.get(), 16);
+  ASSERT_TRUE(
+      RTreeProbeJoin(&ctx, a, d, nullptr, &d_tree.value(), &s1).ok());
+  CountingSink s2;
+  EXPECT_EQ(RTreeProbeJoin(&ctx, a, d, nullptr, nullptr, &s2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SpatialJoinTest, DropFreesEveryPage) {
+  std::vector<Code> codes = MakeCodes(40000, 15);
+  HeapFile file = MakeFile(codes);
+  uint64_t live_before = disk_->num_live_pages();
+  auto tree = RTree::BulkLoad(bm_.get(), file);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->tree_height(), 1);
+  ASSERT_TRUE(tree->Drop(bm_.get()).ok());
+  EXPECT_EQ(disk_->num_live_pages(), live_before);
+}
+
+}  // namespace
+}  // namespace pbitree

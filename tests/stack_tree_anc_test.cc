@@ -1,0 +1,148 @@
+// Tests for Stack-Tree-Anc: identical pair set to the descendant
+// variant, with output grouped by ancestor in document order — the
+// property that makes it the right producer for a follow-up join on
+// the ancestor side.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "join/element_set.h"
+#include "join/result_sink.h"
+#include "join/stack_tree.h"
+#include "sort/external_sort.h"
+
+namespace pbitree {
+namespace {
+
+constexpr int kH = 14;
+
+class StackTreeAncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 64);
+  }
+
+  ElementSet MakeSorted(std::vector<Code> codes) {
+    std::sort(codes.begin(), codes.end(), [](Code a, Code b) {
+      uint64_t sa = StartOf(a), sb = StartOf(b);
+      if (sa != sb) return sa < sb;
+      return HeightOf(a) > HeightOf(b);
+    });
+    auto builder = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{kH});
+    EXPECT_TRUE(builder.ok());
+    for (Code c : codes) EXPECT_TRUE(builder->AddCode(c).ok());
+    ElementSet s = builder->Build();
+    s.sorted_by_start = true;
+    return s;
+  }
+
+  std::vector<Code> RandomCodes(Random* rng, int n, int max_h) {
+    std::unordered_set<Code> seen;
+    std::vector<Code> out;
+    PBiTreeSpec spec{kH};
+    while (static_cast<int>(out.size()) < n) {
+      Code c = rng->UniformRange(1, spec.MaxCode());
+      if (HeightOf(c) <= max_h && seen.insert(c).second) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(StackTreeAncTest, SamePairSetAsDescendantVariant) {
+  Random rng(31);
+  ElementSet a = MakeSorted(RandomCodes(&rng, 500, kH - 2));
+  ElementSet d = MakeSorted(RandomCodes(&rng, 900, 8));
+
+  VectorSink desc_sink, anc_sink;
+  JoinContext c1(bm_.get(), 16), c2(bm_.get(), 16);
+  ASSERT_TRUE(StackTreeJoin(&c1, a, d, &desc_sink).ok());
+  ASSERT_TRUE(StackTreeJoinAnc(&c2, a, d, &anc_sink).ok());
+  desc_sink.Sort();
+  VectorSink anc_sorted = anc_sink;
+  std::sort(anc_sorted.pairs().begin(), anc_sorted.pairs().end());
+  EXPECT_EQ(desc_sink.pairs(), anc_sorted.pairs());
+  EXPECT_EQ(c1.stats.output_pairs, c2.stats.output_pairs);
+}
+
+TEST_F(StackTreeAncTest, OutputGroupedByAncestorInDocumentOrder) {
+  Random rng(32);
+  // Nested ancestors force the inherit-list machinery: chains of
+  // ancestors over shared leaves.
+  PBiTreeSpec spec{kH};
+  std::unordered_set<Code> a_set;
+  std::vector<Code> d_codes;
+  for (int i = 0; i < 80; ++i) {
+    Code leaf = rng.UniformRange(0, spec.MaxCode() / 2) * 2 + 1;
+    d_codes.push_back(leaf);
+    for (int h = 2; h < kH - 1; h += 2) {
+      a_set.insert(AncestorAtHeight(leaf, h));
+    }
+  }
+  std::sort(d_codes.begin(), d_codes.end());
+  d_codes.erase(std::unique(d_codes.begin(), d_codes.end()), d_codes.end());
+  ElementSet a = MakeSorted({a_set.begin(), a_set.end()});
+  ElementSet d = MakeSorted(d_codes);
+
+  VectorSink sink;
+  JoinContext ctx(bm_.get(), 16);
+  ASSERT_TRUE(StackTreeJoinAnc(&ctx, a, d, &sink).ok());
+  ASSERT_GT(sink.pairs().size(), 0u);
+
+  // Grouped: each ancestor appears in exactly one contiguous block.
+  std::unordered_set<Code> closed;
+  Code current = kInvalidCode;
+  for (const ResultPair& p : sink.pairs()) {
+    if (p.ancestor_code != current) {
+      ASSERT_TRUE(closed.insert(p.ancestor_code).second)
+          << "ancestor " << p.ancestor_code << " split into two blocks";
+      current = p.ancestor_code;
+    }
+  }
+  // Blocks in document order: (Start asc, height desc).
+  Code prev = kInvalidCode;
+  for (const ResultPair& p : sink.pairs()) {
+    if (p.ancestor_code == prev) continue;
+    if (prev != kInvalidCode) {
+      uint64_t sp = StartOf(prev), sc = StartOf(p.ancestor_code);
+      EXPECT_TRUE(sp < sc ||
+                  (sp == sc && HeightOf(prev) > HeightOf(p.ancestor_code)))
+          << prev << " before " << p.ancestor_code;
+    }
+    prev = p.ancestor_code;
+  }
+}
+
+TEST_F(StackTreeAncTest, RequiresSortedInputs) {
+  Random rng(33);
+  auto builder = ElementSetBuilder::Create(bm_.get(), PBiTreeSpec{kH});
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE(builder->AddCode(8).ok());
+  ElementSet unsorted = builder->Build();
+  CountingSink sink;
+  JoinContext ctx(bm_.get(), 16);
+  EXPECT_EQ(StackTreeJoinAnc(&ctx, unsorted, unsorted, &sink).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StackTreeAncTest, EmptyInputs) {
+  ElementSet a = MakeSorted({});
+  ElementSet d = MakeSorted({8, 12});
+  CountingSink sink;
+  JoinContext ctx(bm_.get(), 16);
+  EXPECT_TRUE(StackTreeJoinAnc(&ctx, a, d, &sink).ok());
+  EXPECT_TRUE(StackTreeJoinAnc(&ctx, d, a, &sink).ok());
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+}  // namespace
+}  // namespace pbitree

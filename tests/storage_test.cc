@@ -1,0 +1,301 @@
+// Tests for the storage substrate: DiskManager allocation/IO accounting,
+// BufferManager pin/unpin/eviction semantics and the heap file layer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/env.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+
+namespace pbitree {
+namespace {
+
+TEST(DiskManagerTest, AllocateReadWriteRoundTrip) {
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  auto pid = disk->AllocatePage();
+  ASSERT_TRUE(pid.ok());
+  char out[kPageSize], in[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) out[i] = static_cast<char>(i * 7);
+  ASSERT_TRUE(disk->WritePage(*pid, out).ok());
+  ASSERT_TRUE(disk->ReadPage(*pid, in).ok());
+  EXPECT_EQ(0, std::memcmp(out, in, kPageSize));
+  EXPECT_EQ(disk->stats().page_reads, 1u);
+  EXPECT_EQ(disk->stats().page_writes, 1u);
+}
+
+TEST(DiskManagerTest, FreeListReusesPages) {
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  auto p1 = disk->AllocatePage();
+  auto p2 = disk->AllocatePage();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(disk->FreePage(*p1).ok());
+  auto p3 = disk->AllocatePage();
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(*p3, *p1);  // freed page reused before extending the file
+  EXPECT_EQ(disk->num_live_pages(), 2u);
+}
+
+TEST(DiskManagerTest, DoubleFreeRejected) {
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  auto p = disk->AllocatePage();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(disk->FreePage(*p).ok());
+  EXPECT_EQ(disk->FreePage(*p).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiskManagerTest, OutOfRangeAccessRejected) {
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  char buf[kPageSize] = {};
+  EXPECT_EQ(disk->ReadPage(99, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk->WritePage(99, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DiskManagerTest, FileBackedRoundTrip) {
+  std::string path = TempFilePath("disk_test");
+  auto opened = DiskManager::Open(path);
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<DiskManager> disk(*opened);
+  auto pid = disk->AllocatePage();
+  ASSERT_TRUE(pid.ok());
+  char out[kPageSize] = {'a', 'b', 'c'};
+  char in[kPageSize] = {};
+  ASSERT_TRUE(disk->WritePage(*pid, out).ok());
+  ASSERT_TRUE(disk->ReadPage(*pid, in).ok());
+  EXPECT_EQ(0, std::memcmp(out, in, kPageSize));
+}
+
+class BufferManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 4);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(BufferManagerTest, NewPageIsPinnedAndZeroed) {
+  auto page = bm_->NewPage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)->pin_count(), 1);
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ((*page)->data()[i], 0);
+  ASSERT_TRUE(bm_->UnpinPage((*page)->page_id(), false).ok());
+}
+
+TEST_F(BufferManagerTest, FetchHitsAfterFirstMiss) {
+  auto page = bm_->NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId pid = (*page)->page_id();
+  ASSERT_TRUE(bm_->UnpinPage(pid, true).ok());
+
+  auto again = bm_->FetchPage(pid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(bm_->stats().hits, 1u);
+  ASSERT_TRUE(bm_->UnpinPage(pid, false).ok());
+}
+
+TEST_F(BufferManagerTest, EvictionWritesBackDirtyPages) {
+  // Fill a page with data, unpin dirty, then flood the pool to force
+  // eviction; refetching must return the written data.
+  auto page = bm_->NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId pid = (*page)->page_id();
+  (*page)->data()[100] = 42;
+  ASSERT_TRUE(bm_->UnpinPage(pid, true).ok());
+
+  std::vector<PageId> others;
+  for (int i = 0; i < 8; ++i) {
+    auto p = bm_->NewPage();
+    ASSERT_TRUE(p.ok());
+    others.push_back((*p)->page_id());
+    ASSERT_TRUE(bm_->UnpinPage((*p)->page_id(), false).ok());
+  }
+  auto back = bm_->FetchPage(pid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->data()[100], 42);
+  ASSERT_TRUE(bm_->UnpinPage(pid, false).ok());
+  EXPECT_GT(bm_->stats().evictions, 0u);
+  EXPECT_GT(bm_->stats().dirty_writes, 0u);
+}
+
+TEST_F(BufferManagerTest, AllPinnedMeansResourceExhausted) {
+  std::vector<PageId> pinned;
+  for (int i = 0; i < 4; ++i) {
+    auto p = bm_->NewPage();
+    ASSERT_TRUE(p.ok());
+    pinned.push_back((*p)->page_id());
+  }
+  auto fifth = bm_->NewPage();
+  ASSERT_FALSE(fifth.ok());
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+  for (PageId pid : pinned) ASSERT_TRUE(bm_->UnpinPage(pid, false).ok());
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(BufferManagerTest, UnpinErrorsAreReported) {
+  EXPECT_EQ(bm_->UnpinPage(12345, false).code(), StatusCode::kNotFound);
+  auto p = bm_->NewPage();
+  ASSERT_TRUE(p.ok());
+  PageId pid = (*p)->page_id();
+  ASSERT_TRUE(bm_->UnpinPage(pid, false).ok());
+  EXPECT_EQ(bm_->UnpinPage(pid, false).code(), StatusCode::kInternal);
+}
+
+TEST_F(BufferManagerTest, PinGuardUnpinsAutomatically) {
+  {
+    auto p = bm_->NewPage();
+    ASSERT_TRUE(p.ok());
+    PinGuard guard(bm_.get(), *p);
+    guard.MarkDirty();
+    EXPECT_EQ(bm_->PinnedFrames(), 1u);
+  }
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(BufferManagerTest, DeletePinnedPageRejected) {
+  auto p = bm_->NewPage();
+  ASSERT_TRUE(p.ok());
+  PageId pid = (*p)->page_id();
+  EXPECT_EQ(bm_->DeletePage(pid).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(bm_->UnpinPage(pid, false).ok());
+  EXPECT_TRUE(bm_->DeletePage(pid).ok());
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 16);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(HeapFileTest, AppendAndScanManyPages) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  const uint64_t n = HeapFile::kRecordsPerPage * 5 + 17;
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < n; ++i) {
+      ElementRecord rec{i + 1, static_cast<uint32_t>(i % 7), 0};
+      ASSERT_TRUE(app.AppendElement(rec).ok());
+    }
+  }
+  EXPECT_EQ(file->num_records(), n);
+  EXPECT_EQ(file->num_pages(), 6u);
+
+  HeapFile::Scanner scan(bm_.get(), *file);
+  ElementRecord rec;
+  Status st;
+  uint64_t count = 0;
+  while (scan.NextElement(&rec, &st)) {
+    EXPECT_EQ(rec.code, count + 1);
+    EXPECT_EQ(rec.tag, count % 7);
+    ++count;
+  }
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(HeapFileTest, EmptyFileScansNothing) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  HeapFile::Scanner scan(bm_.get(), *file);
+  ElementRecord rec;
+  EXPECT_FALSE(scan.NextElement(&rec));
+}
+
+TEST_F(HeapFileTest, DropFreesAllPages) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < HeapFile::kRecordsPerPage * 3; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+  }
+  uint64_t live_before = disk_->num_live_pages();
+  uint64_t file_pages = file->num_pages();
+  ASSERT_TRUE(file->Drop(bm_.get()).ok());
+  EXPECT_EQ(disk_->num_live_pages(), live_before - file_pages);
+  EXPECT_FALSE(file->valid());
+}
+
+TEST_F(HeapFileTest, ConcatPreservesAllRecordsInOrder) {
+  auto f1 = HeapFile::Create(bm_.get());
+  auto f2 = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  const uint64_t n1 = HeapFile::kRecordsPerPage + 5, n2 = 100;
+  {
+    HeapFile::Appender a1(bm_.get(), &f1.value());
+    for (uint64_t i = 0; i < n1; ++i) {
+      ASSERT_TRUE(a1.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+    HeapFile::Appender a2(bm_.get(), &f2.value());
+    for (uint64_t i = 0; i < n2; ++i) {
+      ASSERT_TRUE(a2.AppendElement(ElementRecord{1000 + i, 0, 0}).ok());
+    }
+  }
+  ASSERT_TRUE(f1->Concat(bm_.get(), &f2.value()).ok());
+  EXPECT_EQ(f1->num_records(), n1 + n2);
+  EXPECT_FALSE(f2->valid());
+
+  HeapFile::Scanner scan(bm_.get(), *f1);
+  ElementRecord rec;
+  std::vector<uint64_t> codes;
+  while (scan.NextElement(&rec)) codes.push_back(rec.code);
+  ASSERT_EQ(codes.size(), n1 + n2);
+  EXPECT_EQ(codes.front(), 1u);
+  EXPECT_EQ(codes[n1 - 1], n1);
+  EXPECT_EQ(codes[n1], 1000u);
+  EXPECT_EQ(codes.back(), 1000 + n2 - 1);
+}
+
+TEST_F(HeapFileTest, AppendAfterConcatGoesToTheNewTail) {
+  auto f1 = HeapFile::Create(bm_.get());
+  auto f2 = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  ElementRecord r1{1, 0, 0}, r2{2, 0, 0}, r3{3, 0, 0};
+  ASSERT_TRUE(f1->Append(bm_.get(), &r1).ok());
+  ASSERT_TRUE(f2->Append(bm_.get(), &r2).ok());
+  ASSERT_TRUE(f1->Concat(bm_.get(), &f2.value()).ok());
+  ASSERT_TRUE(f1->Append(bm_.get(), &r3).ok());
+
+  HeapFile::Scanner scan(bm_.get(), *f1);
+  ElementRecord rec;
+  std::vector<uint64_t> codes;
+  while (scan.NextElement(&rec)) codes.push_back(rec.code);
+  EXPECT_EQ(codes, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST_F(HeapFileTest, ScannerCountsIOAgainstTheBufferPool) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < HeapFile::kRecordsPerPage * 40; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+  }
+  ASSERT_TRUE(bm_->FlushAll().ok());
+  uint64_t reads_before = disk_->stats().page_reads;
+  HeapFile::Scanner scan(bm_.get(), *file);
+  ElementRecord rec;
+  while (scan.NextElement(&rec)) {
+  }
+  uint64_t reads = disk_->stats().page_reads - reads_before;
+  // 41 pages, pool of 16: most pages must come from disk.
+  EXPECT_GE(reads, file->num_pages() - 16);
+  EXPECT_LE(reads, file->num_pages());
+}
+
+}  // namespace
+}  // namespace pbitree

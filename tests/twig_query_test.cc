@@ -1,0 +1,228 @@
+// Tests for twig (branching) pattern queries: parser shapes, semijoin
+// predicate semantics against a brute-force DataTree matcher, nested
+// predicates, and empty-result paths.
+
+#include "query/twig_query.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "datagen/xmark_gen.h"
+#include "pbitree/binarize.h"
+#include "xml/parser.h"
+
+namespace pbitree {
+namespace {
+
+TEST(ParseTwigQueryTest, LinearPatternsParse) {
+  auto q = ParseTwigQuery("//a//b//c");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 3u);
+  EXPECT_EQ(q->steps[0].tag, "a");
+  EXPECT_TRUE(q->steps[0].predicates.empty());
+}
+
+TEST(ParseTwigQueryTest, PredicatesParse) {
+  auto q = ParseTwigQuery("//a[//b][//c//d]//e[//f]");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 2u);
+  ASSERT_EQ(q->steps[0].predicates.size(), 2u);
+  EXPECT_EQ(q->steps[0].predicates[0].steps[0].tag, "b");
+  ASSERT_EQ(q->steps[0].predicates[1].steps.size(), 2u);
+  EXPECT_EQ(q->steps[0].predicates[1].steps[1].tag, "d");
+  ASSERT_EQ(q->steps[1].predicates.size(), 1u);
+  EXPECT_EQ(q->steps[1].predicates[0].steps[0].tag, "f");
+}
+
+TEST(ParseTwigQueryTest, NestedPredicatesParse) {
+  auto q = ParseTwigQuery("//a[//b[//c]]//d");
+  ASSERT_TRUE(q.ok());
+  const TwigQuery& pred = q->steps[0].predicates[0];
+  ASSERT_EQ(pred.steps.size(), 1u);
+  ASSERT_EQ(pred.steps[0].predicates.size(), 1u);
+  EXPECT_EQ(pred.steps[0].predicates[0].steps[0].tag, "c");
+}
+
+TEST(ParseTwigQueryTest, RejectsMalformedPatterns) {
+  EXPECT_FALSE(ParseTwigQuery("").ok());
+  EXPECT_FALSE(ParseTwigQuery("/a").ok());
+  EXPECT_FALSE(ParseTwigQuery("//a[").ok());
+  EXPECT_FALSE(ParseTwigQuery("//a[//b").ok());
+  EXPECT_FALSE(ParseTwigQuery("//a]").ok());
+  EXPECT_FALSE(ParseTwigQuery("//a[]").ok());
+  EXPECT_FALSE(ParseTwigQuery("//a//[//b]").ok());
+  EXPECT_FALSE(ParseTwigQuery("//a[@id]").ok());
+}
+
+class TwigQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 128);
+  }
+
+  /// Brute force: does data-tree node `n` match pattern step `i` of
+  /// `q`'s spine (including predicates and the rest of the spine)?
+  bool Matches(const DataTree& tree, NodeId n, const TwigQuery& q, size_t i) {
+    const TwigStep& step = q.steps[i];
+    TagId want;
+    if (!tree.FindTag(step.tag, &want) || tree.node(n).tag != want) {
+      return false;
+    }
+    for (const TwigQuery& pred : step.predicates) {
+      if (!HasMatchingDescendant(tree, n, pred, 0)) return false;
+    }
+    if (i + 1 == q.steps.size()) return true;
+    return HasSpineDescendant(tree, n, q, i + 1);
+  }
+
+  bool HasSpineDescendant(const DataTree& tree, NodeId anc, const TwigQuery& q,
+                          size_t i) {
+    for (size_t n = 0; n < tree.size(); ++n) {
+      NodeId id = static_cast<NodeId>(n);
+      if (tree.IsAncestorNode(anc, id) && Matches(tree, id, q, i)) return true;
+    }
+    return false;
+  }
+
+  bool HasMatchingDescendant(const DataTree& tree, NodeId anc,
+                             const TwigQuery& pred, size_t i) {
+    for (size_t n = 0; n < tree.size(); ++n) {
+      NodeId id = static_cast<NodeId>(n);
+      if (tree.IsAncestorNode(anc, id) && Matches(tree, id, pred, i)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Brute-force answer: codes of nodes matching the LAST spine step
+  /// under a full-pattern match chain.
+  std::set<Code> BruteForce(const DataTree& tree, const TwigQuery& q) {
+    std::set<Code> out;
+    for (size_t n = 0; n < tree.size(); ++n) {
+      NodeId id = static_cast<NodeId>(n);
+      // id matches the last step; walk all possible ancestor chains by
+      // checking: exists chain for steps 0..N-2 above id.
+      if (!MatchesLast(tree, id, q)) continue;
+      out.insert(tree.node(id).code);
+    }
+    return out;
+  }
+
+  bool MatchesLast(const DataTree& tree, NodeId id, const TwigQuery& q) {
+    // last step tag + predicates
+    TwigQuery tail;
+    tail.steps.assign(q.steps.end() - 1, q.steps.end());
+    if (!Matches(tree, id, tail, 0)) return false;
+    // ancestors chain for the prefix, ending at an ancestor of id.
+    return ChainAbove(tree, id, q, q.steps.size() - 1);
+  }
+
+  /// True iff there is a chain matching steps [0, upto) of q's spine,
+  /// properly nested, all being ancestors of `below`.
+  bool ChainAbove(const DataTree& tree, NodeId below, const TwigQuery& q,
+                  size_t upto) {
+    if (upto == 0) return true;
+    for (size_t n = 0; n < tree.size(); ++n) {
+      NodeId id = static_cast<NodeId>(n);
+      if (!tree.IsAncestorNode(id, below)) continue;
+      TwigQuery single;
+      single.steps.push_back(q.steps[upto - 1]);
+      if (!Matches(tree, id, single, 0)) continue;
+      if (ChainAbove(tree, id, q, upto - 1)) return true;
+    }
+    return false;
+  }
+
+  void CheckQuery(const DataTree& tree, const PBiTreeSpec& spec,
+                  const std::string& text) {
+    auto q = ParseTwigQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    RunOptions opts;
+    opts.work_pages = 32;
+    TwigQueryStats stats;
+    auto result = EvaluateTwigQuery(bm_.get(), tree, spec, *q, opts, &stats);
+    ASSERT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    std::set<Code> got;
+    HeapFile::Scanner scan(bm_.get(), result->file);
+    ElementRecord rec;
+    while (scan.NextElement(&rec)) got.insert(rec.code);
+    EXPECT_EQ(got, BruteForce(tree, *q)) << text;
+    EXPECT_EQ(stats.final_count, got.size());
+    ASSERT_TRUE(result->file.Drop(bm_.get()).ok());
+    EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(TwigQueryTest, PredicatesFilterAncestors) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml(
+      "<lib>"
+      "<section><title/><figure/><figure/></section>"   // has title
+      "<section><figure/></section>"                    // no title
+      "<section><title/><note/></section>"              // title, no figure
+      "</lib>",
+      &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  CheckQuery(tree, spec, "//section[//title]//figure");   // 2 figures
+  CheckQuery(tree, spec, "//section//figure");            // 3 figures
+  CheckQuery(tree, spec, "//section[//figure]//title");   // 1 title
+  CheckQuery(tree, spec, "//lib[//note]//figure");        // all 3
+}
+
+TEST_F(TwigQueryTest, MultipleAndNestedPredicates) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml(
+      "<db>"
+      "<rec><name/><addr><zip/></addr><mail/></rec>"
+      "<rec><name/><addr/></rec>"
+      "<rec><addr><zip/></addr><mail/></rec>"
+      "</db>",
+      &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  CheckQuery(tree, spec, "//rec[//name][//mail]//addr");     // rec 1 only
+  CheckQuery(tree, spec, "//rec[//addr[//zip]]//mail");      // recs 1 and 3
+  CheckQuery(tree, spec, "//db//rec[//addr[//zip]][//name]//mail");
+}
+
+TEST_F(TwigQueryTest, EmptyResultsAndMissingTags) {
+  DataTree tree;
+  ASSERT_TRUE(ParseXml("<a><b/><c/></a>", &tree).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  CheckQuery(tree, spec, "//b//c");      // b has no c below: empty
+  auto q = ParseTwigQuery("//a[//zzz]//b");
+  ASSERT_TRUE(q.ok());
+  RunOptions opts;
+  opts.work_pages = 16;
+  auto result = EvaluateTwigQuery(bm_.get(), tree, spec, *q, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TwigQueryTest, XmarkTwigPatterns) {
+  DataTree tree;
+  XmarkOptions gen;
+  gen.scale_factor = 0.01;
+  ASSERT_TRUE(GenerateXmark(&tree, gen).ok());
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+
+  CheckQuery(tree, spec, "//item[//mailbox]//keyword");
+  CheckQuery(tree, spec, "//open_auction[//reserve]//bidder//increase");
+  CheckQuery(tree, spec, "//person[//creditcard][//homepage]//emailaddress");
+}
+
+}  // namespace
+}  // namespace pbitree

@@ -1,0 +1,167 @@
+// Tests for dynamic code allocation (Section 2.3.2: virtual nodes as
+// update placeholders): inserted elements get valid codes preserving
+// the embedding, slack levels absorb inserts, and exhaustion is
+// reported instead of corrupting the coding.
+
+#include "pbitree/update.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "pbitree/binarize.h"
+#include "xml/parser.h"
+
+namespace pbitree {
+namespace {
+
+/// Re-checks the embedding invariants after updates.
+void CheckEmbedding(const DataTree& tree, const PBiTreeSpec& spec) {
+  std::set<Code> codes;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    Code c = tree.node(static_cast<NodeId>(i)).code;
+    ASSERT_TRUE(IsValidCode(c, spec));
+    ASSERT_TRUE(codes.insert(c).second) << "duplicate code " << c;
+  }
+  for (size_t i = 0; i < tree.size(); ++i) {
+    for (size_t j = 0; j < tree.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(tree.IsAncestorNode(static_cast<NodeId>(i),
+                                    static_cast<NodeId>(j)),
+                IsAncestor(tree.node(static_cast<NodeId>(i)).code,
+                           tree.node(static_cast<NodeId>(j)).code))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(AllocateChildCodeTest, FirstChildOfEmptyParent) {
+  PBiTreeSpec spec{6};
+  Code parent = spec.RootCode();  // 32
+  auto code = AllocateChildCode(parent, {}, spec);
+  ASSERT_TRUE(code.ok());
+  EXPECT_TRUE(IsAncestor(parent, *code));
+}
+
+TEST(AllocateChildCodeTest, AvoidsSiblingSubtrees) {
+  PBiTreeSpec spec{6};
+  Code parent = spec.RootCode();
+  std::vector<Code> siblings = {16};  // left child, spans [1, 31]
+  auto code = AllocateChildCode(parent, siblings, spec);
+  ASSERT_TRUE(code.ok());
+  EXPECT_TRUE(IsAncestor(parent, *code));
+  // Must not nest with the existing sibling.
+  EXPECT_FALSE(IsAncestorOrSelf(16, *code));
+  EXPECT_FALSE(IsAncestor(*code, 16));
+}
+
+TEST(AllocateChildCodeTest, ManySequentialInsertsStayConsistent) {
+  // Root of a height-13 tree: the balanced allocator places children
+  // at height 6, giving 64 direct slots — enough for the 60 inserts.
+  PBiTreeSpec spec{13};
+  Code parent = spec.RootCode();
+  std::vector<Code> siblings;
+  for (int i = 0; i < 60; ++i) {
+    auto code = AllocateChildCode(parent, siblings, spec);
+    ASSERT_TRUE(code.ok()) << "insert " << i << ": "
+                           << code.status().ToString();
+    for (Code s : siblings) {
+      EXPECT_FALSE(IsAncestorOrSelf(s, *code));
+      EXPECT_FALSE(IsAncestor(*code, s));
+    }
+    EXPECT_TRUE(IsAncestor(parent, *code));
+    siblings.push_back(*code);
+  }
+}
+
+TEST(AllocateChildCodeTest, ReportsExhaustion) {
+  PBiTreeSpec spec{3};          // 7 nodes total
+  Code parent = spec.RootCode();  // 4; subtree = {1..7}
+  std::vector<Code> siblings;
+  // Keep inserting until the subtree is full; must end with
+  // ResourceExhausted, never a duplicate or nested code.
+  while (true) {
+    auto code = AllocateChildCode(parent, siblings, spec);
+    if (!code.ok()) {
+      EXPECT_EQ(code.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    siblings.push_back(*code);
+    ASSERT_LE(siblings.size(), 7u) << "allocator ran past the code space";
+  }
+  EXPECT_GE(siblings.size(), 2u);
+}
+
+TEST(AllocateChildCodeTest, LeafParentIsExhaustedImmediately) {
+  PBiTreeSpec spec{5};
+  auto code = AllocateChildCode(1, {}, spec);  // 1 is a leaf
+  EXPECT_EQ(code.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AllocateChildCodeTest, RejectsForeignSiblings) {
+  PBiTreeSpec spec{6};
+  // 48 is not under 16.
+  auto code = AllocateChildCode(16, {48}, spec);
+  EXPECT_EQ(code.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InsertElementTest, InsertIntoSlackBinarizedDocument) {
+  DataTree tree;
+  ASSERT_TRUE(
+      ParseXml("<dblp><article><title/></article><book/></dblp>", &tree).ok());
+  PBiTreeSpec spec;
+  BinarizeOptions opts;
+  opts.slack_levels = 4;  // depth headroom for new descendants
+  opts.fanout_slack = 3;  // sibling headroom: 7/8 of each level free
+  ASSERT_TRUE(BinarizeTree(&tree, &spec, opts).ok());
+
+  TagId article_tag;
+  ASSERT_TRUE(tree.FindTag("article", &article_tag));
+  NodeId article = tree.NodesWithTag(article_tag)[0];
+
+  // Grow the document: new fields under the article, new records under
+  // the root — no re-encoding of existing nodes.
+  std::vector<Code> before;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    before.push_back(tree.node(static_cast<NodeId>(i)).code);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto field = InsertElement(&tree, article, "author", spec);
+    ASSERT_TRUE(field.ok()) << field.status().ToString();
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto rec = InsertElement(&tree, tree.root(), "article", spec);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  }
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(tree.node(static_cast<NodeId>(i)).code, before[i])
+        << "existing code changed by an insert";
+  }
+  CheckEmbedding(tree, spec);
+}
+
+TEST(InsertElementTest, RandomisedInsertsPreserveEmbedding) {
+  Random rng(77);
+  DataTree tree;
+  tree.CreateRoot("r");
+  PBiTreeSpec spec;
+  BinarizeOptions opts;
+  opts.forced_height = 16;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec, opts).ok());
+
+  for (int i = 0; i < 120; ++i) {
+    NodeId parent = static_cast<NodeId>(rng.Uniform(tree.size()));
+    auto inserted = InsertElement(&tree, parent, "n", spec);
+    if (!inserted.ok()) {
+      EXPECT_EQ(inserted.status().code(), StatusCode::kResourceExhausted);
+      continue;  // that subtree is full; try elsewhere next round
+    }
+  }
+  EXPECT_GT(tree.size(), 50u);
+  CheckEmbedding(tree, spec);
+}
+
+}  // namespace
+}  // namespace pbitree
