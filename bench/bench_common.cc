@@ -14,6 +14,8 @@ BenchConfig BenchConfig::FromEnv() {
   c.scale = EnvDouble("PBITREE_BENCH_SCALE", c.scale);
   c.seed = static_cast<uint64_t>(EnvInt64("PBITREE_BENCH_SEED", 42));
   c.sim_io_ms = EnvDouble("PBITREE_SIM_IO_MS", c.sim_io_ms);
+  int64_t threads = EnvInt64("PBITREE_THREADS", 1);
+  c.threads = threads < 1 ? 1 : static_cast<size_t>(threads);
   return c;
 }
 
@@ -120,6 +122,7 @@ void RunBufferSweep(const std::string& dataset, Algorithm partitioned) {
     opts.cold_cache = true;
     opts.work_pages = pages;
     opts.simulated_io_ms = cfg.sim_io_ms;
+    opts.threads = cfg.threads;
 
     MinRgnResult min_rgn = MustRunMinRgn(env.bm.get(), ds->a, ds->d, opts);
     RunResult part = MustRun(partitioned, env.bm.get(), ds->a, ds->d, opts);
@@ -178,6 +181,7 @@ void RunScalabilitySweep(bool multi_height) {
     opts.cold_cache = true;
     opts.work_pages = cfg.DefaultBufferPages();
     opts.simulated_io_ms = cfg.sim_io_ms;
+    opts.threads = cfg.threads;
 
     MinRgnResult min_rgn = MustRunMinRgn(env.bm.get(), ds->a, ds->d, opts);
     RunResult part = MustRun(horizontal, env.bm.get(), ds->a, ds->d, opts);

@@ -25,10 +25,14 @@ namespace bench {
 ///  - PBITREE_SIM_IO_MS    (default 1.0): simulated per-page disk
 ///    latency; reported "time" = wall CPU + latency * page I/O, which
 ///    reproduces the paper's disk-bound regime machine-independently.
+///  - PBITREE_THREADS      (default 1): worker threads for the
+///    partition-parallel paths. 1 keeps the paper-faithful serial
+///    execution (exact I/O counts); N > 1 measures parallel speedup.
 struct BenchConfig {
   double scale = 0.02;
   uint64_t seed = 42;
   double sim_io_ms = 1.0;
+  size_t threads = 1;
 
   static BenchConfig FromEnv();
 

@@ -1,0 +1,139 @@
+// Parallel speedup of the partition-based joins: SHCJ, MHCJ(+Rollup)
+// and VPJ at 1/2/4/8 worker threads on the in-memory backend.
+//
+// threads=1 is the paper-faithful serial execution; the other rows
+// show how far the independent partition pairs parallelise. Page I/O
+// is reported alongside elapsed time because the per-worker budget
+// slices change the partition fan-out (more, smaller partitions), so
+// the I/O counts legitimately differ from the serial run — the result
+// *sets* do not (see tests/join_correctness_test.cc).
+//
+// Honours PBITREE_BENCH_SCALE / PBITREE_BENCH_SEED; emits a table and
+// a JSON array on stdout.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datagen/synthetic.h"
+
+using namespace pbitree;
+using namespace pbitree::bench;
+
+namespace {
+
+struct SpeedupRow {
+  const char* algorithm;
+  size_t threads;
+  double seconds;
+  uint64_t page_reads;
+  uint64_t page_writes;
+  uint64_t output_pairs;
+};
+
+SyntheticSpec MakeSpec(bool multi_height, double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.tree_height = 40;
+  spec.a_count = spec.d_count = static_cast<uint64_t>(250000 * scale);
+  spec.match_fraction = 0.5;
+  spec.seed = seed;
+  if (multi_height) {
+    spec.a_heights = {10, 11, 12};
+    spec.d_heights = {2, 3, 4, 5};
+  } else {
+    spec.a_heights = {10};
+    spec.d_heights = {2};
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  // Floor the dataset so multiple partitions exist even at tiny global
+  // scales — a one-partition join has nothing to parallelise.
+  const double scale = std::max(cfg.scale, 0.2);
+  std::printf("=== parallel speedup: partitioned joins, 1/2/4/8 threads ===\n");
+  std::printf("scale=%g (elements per side: %llu)  hardware threads: %u\n\n",
+              scale,
+              static_cast<unsigned long long>(
+                  static_cast<uint64_t>(250000 * scale)),
+              std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() < 2) {
+    std::printf("NOTE: single-core host — rows beyond threads=1 can only\n"
+                "show scheduling overhead, not speedup.\n\n");
+  }
+
+  struct Config {
+    const char* name;
+    Algorithm algorithm;
+    bool multi_height;
+  };
+  const Config configs[] = {
+      {"SHCJ", Algorithm::kShcj, false},
+      {"MHCJ", Algorithm::kMhcjRollup, true},
+      {"VPJ", Algorithm::kVpj, true},
+  };
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  std::vector<SpeedupRow> rows;
+  std::printf("%-6s %8s | %10s %8s %10s %10s\n", "algo", "threads", "seconds",
+              "speedup", "reads", "writes");
+  PrintRule(60);
+
+  for (const Config& c : configs) {
+    SyntheticSpec spec = MakeSpec(c.multi_height, scale, cfg.seed);
+    // A budget of ~1/8 of the smaller side's pages forces several
+    // Grace/vertical partitions — the unit of parallelism.
+    uint64_t data_pages =
+        (spec.a_count + HeapFile::kRecordsPerPage - 1) / HeapFile::kRecordsPerPage;
+    size_t work_pages = static_cast<size_t>(data_pages / 8);
+    if (work_pages < 16) work_pages = 16;
+
+    double serial_seconds = 0.0;
+    for (size_t threads : thread_counts) {
+      Env env(work_pages * 2);
+      auto ds = GenerateSynthetic(env.bm.get(), spec);
+      if (!ds.ok()) {
+        std::fprintf(stderr, "generate %s: %s\n", c.name,
+                     ds.status().ToString().c_str());
+        return 1;
+      }
+      RunOptions opts;
+      opts.cold_cache = true;
+      opts.work_pages = work_pages;
+      opts.threads = threads;
+
+      RunResult r = MustRun(c.algorithm, env.bm.get(), ds->a, ds->d, opts);
+      if (threads == 1) serial_seconds = r.wall_seconds;
+      rows.push_back({c.name, threads, r.wall_seconds, r.page_reads,
+                      r.page_writes, r.output_pairs});
+
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    r.wall_seconds > 0 ? serial_seconds / r.wall_seconds : 0.0);
+      std::printf("%-6s %8zu | %10s %8s %10llu %10llu\n", c.name, threads,
+                  FormatSeconds(r.wall_seconds).c_str(), speedup,
+                  static_cast<unsigned long long>(r.page_reads),
+                  static_cast<unsigned long long>(r.page_writes));
+    }
+  }
+
+  std::printf("\nJSON:\n[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SpeedupRow& r = rows[i];
+    std::printf(
+        "%s\n  {\"algorithm\": \"%s\", \"threads\": %zu, \"seconds\": %.6f, "
+        "\"page_reads\": %llu, \"page_writes\": %llu, \"output_pairs\": %llu}",
+        i == 0 ? "" : ",", r.algorithm, r.threads, r.seconds,
+        static_cast<unsigned long long>(r.page_reads),
+        static_cast<unsigned long long>(r.page_writes),
+        static_cast<unsigned long long>(r.output_pairs));
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef PBITREE_EXEC_EXEC_CONTEXT_H_
+#define PBITREE_EXEC_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "exec/thread_pool.h"
+
+namespace pbitree {
+
+/// \brief Execution resources for one measured run: the worker pool and
+/// the rule for splitting the `work_pages` memory budget across workers.
+///
+/// An ExecContext with threads() == 1 owns no pool; every consumer must
+/// treat that (and a null ExecContext pointer) as "run serially, exactly
+/// like the single-threaded code path" — this is what makes `threads=1`
+/// byte-identical to the pre-exec behaviour, I/O counts included.
+class ExecContext {
+ public:
+  /// `threads` <= 1 selects serial execution (no pool is created).
+  explicit ExecContext(size_t threads)
+      : threads_(threads < 1 ? 1 : threads),
+        pool_(threads_ > 1 ? std::make_unique<ThreadPool>(threads_) : nullptr) {}
+
+  size_t threads() const { return threads_; }
+
+  /// Null when threads() == 1.
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// The budget slice each of `n` concurrent workers may assume, such
+  /// that the slices sum to at most `work_pages`. Floored at 3 pages —
+  /// the minimum every algorithm in the repository needs — so very
+  /// small budgets oversubscribe memory slightly rather than handing a
+  /// worker an unusable slice.
+  static size_t SplitBudget(size_t work_pages, size_t n) {
+    if (n < 1) n = 1;
+    size_t slice = work_pages / n;
+    return slice < 3 ? 3 : slice;
+  }
+
+ private:
+  size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_EXEC_EXEC_CONTEXT_H_

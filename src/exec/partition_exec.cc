@@ -1,0 +1,43 @@
+#include "exec/partition_exec.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pbitree {
+
+bool ShouldParallelize(const JoinContext* ctx, size_t n) {
+  return ctx->exec != nullptr && ctx->exec->threads() > 1 && n > 1;
+}
+
+Status ParallelPartitions(JoinContext* ctx, ResultSink* sink, size_t n,
+                          const PartitionTask& task) {
+  ExecContext* exec = ctx->exec;
+  const size_t workers = std::min<size_t>(exec->threads(), n);
+  const size_t slice = ExecContext::SplitBudget(ctx->work_pages, workers);
+
+  // Worker contexts carry no exec pointer: nesting parallelism below
+  // the partition level would oversubscribe both the pool and the
+  // budget slices. Each worker context's stats merge back afterwards.
+  std::vector<JoinContext> worker_ctxs;
+  worker_ctxs.reserve(n);
+  for (size_t i = 0; i < n; ++i) worker_ctxs.emplace_back(ctx->bm, slice);
+  std::vector<BufferingSink> local_sinks(n);
+  std::vector<Status> statuses(n);
+
+  exec->pool()->ParallelFor(n, [&](size_t i) {
+    statuses[i] = task(i, &worker_ctxs[i], &local_sinks[i]);
+  });
+
+  Status result = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    ctx->stats.Merge(worker_ctxs[i].stats);
+    if (result.ok() && !statuses[i].ok()) result = statuses[i];
+  }
+  if (!result.ok()) return result;
+  for (size_t i = 0; i < n; ++i) {
+    PBITREE_RETURN_IF_ERROR(local_sinks[i].ReplayInto(sink));
+  }
+  return Status::OK();
+}
+
+}  // namespace pbitree

@@ -1,0 +1,49 @@
+#ifndef PBITREE_EXEC_PARTITION_EXEC_H_
+#define PBITREE_EXEC_PARTITION_EXEC_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+
+namespace pbitree {
+
+/// \brief The partition-parallel execution driver shared by the
+/// partitioned joins (SHCJ/MHCJ Grace partitions, MHCJ height
+/// partitions, VPJ vertical partitions).
+///
+/// Each of `n` independent partition pairs is joined as one pool task
+/// with its own worker JoinContext (a SplitBudget slice of the parent's
+/// `work_pages`, no nested pool) and its own thread-local BufferingSink.
+/// When every task finished, worker stats merge into the parent context
+/// and the buffered pairs replay into the shared sink in task order —
+/// so the emitted pair sequence is identical to the serial loop's, just
+/// computed concurrently.
+///
+/// Callers must keep their original serial loop for the
+/// !ShouldParallelize case: that path is the byte-identical
+/// `threads=1` contract.
+
+/// One partition-pair task. `i` is the partition index; the task joins
+/// into `local_sink` using `worker` and is responsible for dropping its
+/// partition files (temp-file cleanup runs concurrently too).
+using PartitionTask =
+    std::function<Status(size_t i, JoinContext* worker, ResultSink* local_sink)>;
+
+/// True when `ctx` carries a pool with more than one thread and the
+/// loop has more than one partition to run.
+bool ShouldParallelize(const JoinContext* ctx, size_t n);
+
+/// Runs `task` for every partition index on the pool. Requires
+/// ShouldParallelize(ctx, n). Returns the first (lowest-index) non-OK
+/// task status; pairs are only replayed into `sink` when every task
+/// succeeded.
+Status ParallelPartitions(JoinContext* ctx, ResultSink* sink, size_t n,
+                          const PartitionTask& task);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_EXEC_PARTITION_EXEC_H_

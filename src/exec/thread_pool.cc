@@ -1,0 +1,127 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace pbitree {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      task_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back([task] { (*task)(); });
+  }
+  task_cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::Wait(std::future<void>& f) {
+  // Help-on-wait: drain the shared queue while the future is pending.
+  // The future has no completion hook to attach a wakeup to, so an
+  // empty queue degrades to a short timed wait.
+  while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    if (!RunOneTask()) {
+      f.wait_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = n;
+
+  // `body` outlives every task: ParallelFor returns only once
+  // remaining hits zero, so capturing it by reference is safe.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      queue_.push_back([batch, &body, i] {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> bl(batch->mu);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> bl(batch->mu);
+        if (--batch->remaining == 0) batch->done_cv.notify_all();
+      });
+    }
+  }
+  task_cv_.notify_all();
+
+  // The caller helps: run any queued task (its own batch, another
+  // batch, or a nested submission) until this batch completes. Tasks
+  // of this batch still running on workers are waited out on done_cv.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> bl(batch->mu);
+      if (batch->remaining == 0) break;
+    }
+    if (!RunOneTask()) {
+      std::unique_lock<std::mutex> bl(batch->mu);
+      batch->done_cv.wait_for(bl, std::chrono::microseconds(200),
+                              [&] { return batch->remaining == 0; });
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace pbitree

@@ -1,0 +1,72 @@
+#ifndef PBITREE_EXEC_THREAD_POOL_H_
+#define PBITREE_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbitree {
+
+/// \brief Fixed-size worker pool with a help-on-wait execution model.
+///
+/// The pool owns one shared FIFO task queue. Blocking entry points
+/// (ParallelFor, Wait) never just sleep: while their work is
+/// outstanding they drain tasks from the shared queue themselves, so a
+/// pool task may itself call ParallelFor or Submit-and-Wait without
+/// deadlocking — even on a pool whose every worker is blocked inside
+/// such a call. This is the property the partitioned joins rely on for
+/// nested parallelism (a VPJ partition task re-partitioning its slice).
+///
+/// Tasks must not throw across the pool boundary except via the
+/// captured channels: Submit futures carry exceptions, ParallelFor
+/// rethrows the first exception of its own batch in the caller.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains remaining queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. The returned future becomes ready when the
+  /// task finishes and carries any exception it threw.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Blocks until `f` is ready, running queued tasks meanwhile. Safe
+  /// to call from inside a pool task (the blocked task keeps the pool
+  /// making progress by executing other tasks itself).
+  void Wait(std::future<void>& f);
+
+  /// Runs body(i) for every i in [0, n) across the pool. The calling
+  /// thread participates in the work, and returns only when all n
+  /// invocations finished. Rethrows the first exception thrown by this
+  /// batch (the remaining iterations still run to completion).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  /// Pops and runs one queued task. Returns false when the queue was
+  /// empty (nothing ran).
+  bool RunOneTask();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // signalled on push and on stop
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_EXEC_THREAD_POOL_H_

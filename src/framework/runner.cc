@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/timer.h"
+#include "exec/exec_context.h"
 #include "join/adb.h"
 #include "join/inljn.h"
 #include "join/mhcj.h"
@@ -18,11 +19,12 @@ namespace {
 /// Sorted-by-Start copy of a set; the temp file must be dropped by the
 /// caller. Sort time is charged to stats->sort_seconds.
 Result<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
-                              size_t work_pages, JoinStats* stats) {
+                              size_t work_pages, ExecContext* exec,
+                              JoinStats* stats) {
   Timer t;
   PBITREE_ASSIGN_OR_RETURN(
       HeapFile sorted,
-      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder));
+      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder, exec));
   stats->sort_seconds += t.ElapsedSeconds();
   ElementSet out = in;
   out.file = sorted;
@@ -34,12 +36,12 @@ Result<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
 /// first (bulk load needs key order). Charged to index_build_seconds.
 Result<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
                                   KeyKind kind, size_t work_pages,
-                                  JoinStats* stats) {
+                                  ExecContext* exec, JoinStats* stats) {
   Timer t;
   SortOrder order =
       kind == KeyKind::kCode ? SortOrder::kCodeOrder : SortOrder::kStartOrder;
   PBITREE_ASSIGN_OR_RETURN(HeapFile sorted,
-                           ExternalSort(bm, in.file, work_pages, order));
+                           ExternalSort(bm, in.file, work_pages, order, exec));
   auto built = BPTree::BulkLoad(bm, sorted, kind);
   Status drop = sorted.Drop(bm);
   stats->index_build_seconds += t.ElapsedSeconds();
@@ -51,11 +53,12 @@ Result<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
 Result<IntervalIndex> BuildIntervalIndexOnTheFly(BufferManager* bm,
                                                  const ElementSet& in,
                                                  size_t work_pages,
+                                                 ExecContext* exec,
                                                  JoinStats* stats) {
   Timer t;
   PBITREE_ASSIGN_OR_RETURN(
       HeapFile sorted,
-      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder));
+      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder, exec));
   auto built = IntervalIndex::BulkLoad(bm, sorted);
   Status drop = sorted.Drop(bm);
   stats->index_build_seconds += t.ElapsedSeconds();
@@ -85,12 +88,12 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
       std::optional<ElementSet> tmp_a, tmp_d;
       if (!sa.sorted_by_start) {
         PBITREE_ASSIGN_OR_RETURN(
-            sa, SortedCopy(bm, a, ctx->work_pages, &ctx->stats));
+            sa, SortedCopy(bm, a, ctx->work_pages, ctx->exec, &ctx->stats));
         tmp_a = sa;
       }
       if (!sd.sorted_by_start) {
         PBITREE_ASSIGN_OR_RETURN(
-            sd, SortedCopy(bm, d, ctx->work_pages, &ctx->stats));
+            sd, SortedCopy(bm, d, ctx->work_pages, ctx->exec, &ctx->stats));
         tmp_d = sd;
       }
       Status st = alg == Algorithm::kStackTree
@@ -119,8 +122,9 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
       // smaller set stays the outer scan).
       if (a.num_records() <= d.num_records()) {
         PBITREE_ASSIGN_OR_RETURN(
-            BPTree d_index, BuildIndexOnTheFly(bm, d, KeyKind::kCode,
-                                               ctx->work_pages, &ctx->stats));
+            BPTree d_index,
+            BuildIndexOnTheFly(bm, d, KeyKind::kCode, ctx->work_pages,
+                               ctx->exec, &ctx->stats));
         idx.d_code_index = &d_index;
         Status st = Inljn(ctx, a, d, idx, sink);
         Status drop = d_index.Drop(bm);
@@ -129,7 +133,8 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
       }
       PBITREE_ASSIGN_OR_RETURN(
           IntervalIndex a_index,
-          BuildIntervalIndexOnTheFly(bm, a, ctx->work_pages, &ctx->stats));
+          BuildIntervalIndexOnTheFly(bm, a, ctx->work_pages, ctx->exec,
+                                     &ctx->stats));
       idx.a_interval_index = &a_index;
       Status st = Inljn(ctx, a, d, idx, sink);
       Status drop = a_index.Drop(bm);
@@ -143,15 +148,17 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
       std::optional<BPTree> tmp_a, tmp_d;
       if (a_idx == nullptr) {
         PBITREE_ASSIGN_OR_RETURN(
-            BPTree built, BuildIndexOnTheFly(bm, a, KeyKind::kStart,
-                                             ctx->work_pages, &ctx->stats));
+            BPTree built,
+            BuildIndexOnTheFly(bm, a, KeyKind::kStart, ctx->work_pages,
+                               ctx->exec, &ctx->stats));
         tmp_a = built;
         a_idx = &tmp_a.value();
       }
       if (d_idx == nullptr) {
         PBITREE_ASSIGN_OR_RETURN(
-            BPTree built, BuildIndexOnTheFly(bm, d, KeyKind::kStart,
-                                             ctx->work_pages, &ctx->stats));
+            BPTree built,
+            BuildIndexOnTheFly(bm, d, KeyKind::kStart, ctx->work_pages,
+                               ctx->exec, &ctx->stats));
         tmp_d = built;
         d_idx = &tmp_d.value();
       }
@@ -178,6 +185,9 @@ Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
   if (options.work_pages < 3) {
     return Status::InvalidArgument("work_pages must be >= 3");
   }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
   RunResult result;
   result.algorithm = alg;
 
@@ -187,7 +197,8 @@ Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
   DiskStats before = bm->disk()->stats();
   Timer timer;
 
-  JoinContext ctx(bm, options.work_pages);
+  ExecContext exec(options.threads);
+  JoinContext ctx(bm, options.work_pages, &exec);
   PBITREE_RETURN_IF_ERROR(Dispatch(alg, &ctx, a, d, sink, options));
   // Force dirty pages out so writes are charged to this run.
   PBITREE_RETURN_IF_ERROR(bm->FlushAll());

@@ -22,6 +22,16 @@ struct RunOptions {
   /// storage. Must not exceed the buffer pool size.
   size_t work_pages = 500;
 
+  /// Worker threads for the partition-parallel execution paths
+  /// (src/exec/). 1 — the default — runs strictly serially and is
+  /// byte-identical to the pre-exec behaviour, including page-I/O
+  /// counts and result order. With N > 1 the partitioned joins
+  /// (SHCJ/MHCJ(+Rollup)/VPJ) join independent partition pairs on an
+  /// N-thread pool, each worker on a `work_pages / N` budget slice;
+  /// result *sets* are unchanged (pairs replay in partition order) but
+  /// I/O counts may differ (per-worker budgets change partition fan-out).
+  size_t threads = 1;
+
   /// Per-page simulated disk latency in milliseconds, added to the wall
   /// time to produce `simulated_seconds`. The paper's numbers are
   /// disk-bound on 2002 hardware; counted page I/O times a fixed

@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "exec/partition_exec.h"
+
 namespace pbitree {
 
 namespace {
@@ -157,16 +159,66 @@ Status HashJoinRecursive(JoinContext* ctx, const HeapFile& a_file,
     return BlockNestedLoopJoin(ctx, a_file, d_file, h, mode, sink);
   }
 
+  // Partition count: enough that the smaller side of each pair fits in
+  // the per-worker budget. Serially that budget is the whole of
+  // work_pages (the seed formula, byte-identical at threads=1); with a
+  // pool attached each pair joins on a SplitBudget slice, so target
+  // that slice instead — partitioning I/O is the same total pages
+  // either way, and right-sized pairs avoid a recursive rewrite inside
+  // the worker.
+  size_t target_pages = ctx->work_pages;
+  const bool parallel_pairs = depth == 0 && ShouldParallelize(ctx, 2);
+  if (parallel_pairs) {
+    target_pages = ExecContext::SplitBudget(ctx->work_pages, ctx->exec->threads());
+  }
   const uint64_t min_pages = std::min(a_file.num_pages(), d_file.num_pages());
   size_t k = static_cast<size_t>(
-      (min_pages + ctx->work_pages - 2) / std::max<size_t>(ctx->work_pages - 1, 1));
+      (min_pages + target_pages - 2) / std::max<size_t>(target_pages - 1, 1));
   k = std::max<size_t>(k, 2);
   k = std::min<size_t>(k, std::max<size_t>(ctx->work_pages - 2, 2));
 
   std::vector<HeapFile> a_parts, d_parts;
-  PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, a_file, h, k, depth, &a_parts));
-  PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, d_file, h, k, depth, &d_parts));
+  if (parallel_pairs) {
+    // The two inputs partition independently (PartitionFile only touches
+    // the shared BufferManager, which is latched), so overlapping them
+    // halves the serial prefix of the parallel plan.
+    ThreadPool* pool = ctx->exec->pool();
+    Status a_st;
+    std::future<void> f = pool->Submit(
+        [&] { a_st = PartitionFile(ctx, a_file, h, k, depth, &a_parts); });
+    Status d_st = PartitionFile(ctx, d_file, h, k, depth, &d_parts);
+    pool->Wait(f);
+    PBITREE_RETURN_IF_ERROR(a_st);
+    PBITREE_RETURN_IF_ERROR(d_st);
+  } else {
+    PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, a_file, h, k, depth, &a_parts));
+    PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, d_file, h, k, depth, &d_parts));
+  }
   ctx->stats.partitions += k;
+
+  if (parallel_pairs && k > 1) {
+    // Each Grace partition pair is independent: join pair i on its own
+    // worker with a budget slice and a thread-local sink, dropping the
+    // partition files inside the task.
+    return ParallelPartitions(
+        ctx, sink, k,
+        [&](size_t i, JoinContext* worker, ResultSink* local_sink) -> Status {
+          Status r = Status::OK();
+          if (a_parts[i].valid() && d_parts[i].valid()) {
+            r = HashJoinRecursive(worker, a_parts[i], d_parts[i], h, mode,
+                                  local_sink, depth + 1);
+          }
+          if (a_parts[i].valid()) {
+            Status s = a_parts[i].Drop(worker->bm);
+            if (r.ok()) r = s;
+          }
+          if (d_parts[i].valid()) {
+            Status s = d_parts[i].Drop(worker->bm);
+            if (r.ok()) r = s;
+          }
+          return r;
+        });
+  }
 
   Status result = Status::OK();
   for (size_t i = 0; i < k; ++i) {

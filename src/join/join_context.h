@@ -8,6 +8,8 @@
 
 namespace pbitree {
 
+class ExecContext;
+
 /// \brief Counters every join algorithm fills in while running.
 ///
 /// I/O counters (page reads/writes) are measured externally by the
@@ -51,10 +53,16 @@ struct JoinStats {
 struct JoinContext {
   BufferManager* bm = nullptr;
   size_t work_pages = 0;
+  /// Execution resources (worker pool + budget splitting). Null — the
+  /// default everywhere — means strictly serial execution; the
+  /// partition-parallel drivers only engage when a pool with more than
+  /// one thread is attached (see exec/partition_exec.h).
+  ExecContext* exec = nullptr;
   JoinStats stats;
 
-  JoinContext(BufferManager* buffer_manager, size_t pages)
-      : bm(buffer_manager), work_pages(pages) {}
+  JoinContext(BufferManager* buffer_manager, size_t pages,
+              ExecContext* exec_context = nullptr)
+      : bm(buffer_manager), work_pages(pages), exec(exec_context) {}
 
   /// Records budgeted in-memory working storage: `work_pages` pages of
   /// 16-byte records.

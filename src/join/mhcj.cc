@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/partition_exec.h"
 #include "join/hash_equijoin.h"
 
 namespace pbitree {
@@ -50,6 +51,22 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
         PBITREE_RETURN_IF_ERROR(apps[slot]->AppendElement(rec));
       }
       PBITREE_RETURN_IF_ERROR(st);
+    }
+    if (ShouldParallelize(ctx, end - base)) {
+      // Every height partition joins against D independently — one
+      // worker per height, concurrent scans of the shared D file.
+      PBITREE_RETURN_IF_ERROR(ParallelPartitions(
+          ctx, sink, end - base,
+          [&](size_t i, JoinContext* worker, ResultSink* local_sink) -> Status {
+            HeapFile& part = parts[i];
+            if (!part.valid()) return Status::OK();
+            Status st = HashEquijoinAtHeight(worker, part, d.file,
+                                             heights[base + i], local_sink);
+            Status drop = part.Drop(worker->bm);
+            PBITREE_RETURN_IF_ERROR(st);
+            return drop;
+          }));
+      continue;
     }
     for (size_t i = base; i < end; ++i) {
       HeapFile& part = parts[i - base];

@@ -59,6 +59,34 @@ class VectorSink : public ResultSink {
   std::vector<ResultPair> pairs_;
 };
 
+/// Buffers pairs in memory for later replay into another sink — the
+/// thread-local sink of the partition-parallel execution driver. Each
+/// worker emits into its own BufferingSink with no synchronisation;
+/// the driver replays every buffer into the shared sink in partition
+/// order once all workers finished, reproducing the serial emission
+/// sequence.
+class BufferingSink : public ResultSink {
+ public:
+  Status OnPair(Code a, Code d) override {
+    ++count_;
+    pairs_.push_back(ResultPair{a, d});
+    return Status::OK();
+  }
+
+  /// Forwards every buffered pair to `target` (in emission order) and
+  /// clears the buffer.
+  Status ReplayInto(ResultSink* target) {
+    for (const ResultPair& p : pairs_) {
+      PBITREE_RETURN_IF_ERROR(target->OnPair(p.ancestor_code, p.descendant_code));
+    }
+    pairs_.clear();
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ResultPair> pairs_;
+};
+
 /// Appends pairs to a heap file (the pipeline sink: results of one join
 /// feed the next, as in multi-step path queries).
 class MaterializeSink : public ResultSink {

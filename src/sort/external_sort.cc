@@ -1,6 +1,8 @@
 #include "sort/external_sort.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -19,39 +21,99 @@ bool ElementLess(const ElementRecord& a, const ElementRecord& b,
 
 namespace {
 
-/// Generates sorted runs of at most `work_pages` pages each.
+/// Sorts one chunk in memory and writes it out as a run.
+Status SortAndWriteRun(BufferManager* bm, std::vector<ElementRecord>* buf,
+                       SortOrder order, HeapFile* out) {
+  std::sort(buf->begin(), buf->end(),
+            [order](const ElementRecord& a, const ElementRecord& b) {
+              return ElementLess(a, b, order);
+            });
+  PBITREE_ASSIGN_OR_RETURN(HeapFile run, HeapFile::Create(bm));
+  {
+    HeapFile::Appender app(bm, &run);
+    for (const ElementRecord& r : *buf) {
+      PBITREE_RETURN_IF_ERROR(app.AppendElement(r));
+    }
+  }
+  *out = run;
+  return Status::OK();
+}
+
+/// Generates sorted runs of at most `work_pages` pages each (split
+/// across in-flight chunks when a pool is attached).
 Status GenerateRuns(BufferManager* bm, const HeapFile& input,
-                    size_t work_pages, SortOrder order,
+                    size_t work_pages, SortOrder order, ExecContext* exec,
                     std::vector<HeapFile>* runs) {
-  const size_t run_capacity = work_pages * HeapFile::kRecordsPerPage;
-  std::vector<ElementRecord> buf;
-  buf.reserve(std::min<size_t>(run_capacity, 1 << 20));
+  const size_t workers =
+      (exec != nullptr && exec->pool() != nullptr) ? exec->threads() : 1;
+
+  if (workers == 1) {
+    const size_t run_capacity = work_pages * HeapFile::kRecordsPerPage;
+    std::vector<ElementRecord> buf;
+    buf.reserve(std::min<size_t>(run_capacity, 1 << 20));
+
+    HeapFile::Scanner scan(bm, input);
+    ElementRecord rec;
+    Status st;
+    bool more = true;
+    while (more) {
+      buf.clear();
+      while (buf.size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
+        buf.push_back(rec);
+      }
+      PBITREE_RETURN_IF_ERROR(st);
+      if (buf.empty()) break;
+      HeapFile run;
+      PBITREE_RETURN_IF_ERROR(SortAndWriteRun(bm, &buf, order, &run));
+      runs->push_back(run);
+    }
+    return Status::OK();
+  }
+
+  // Parallel run generation: the scan is inherently sequential (one
+  // page chain, one cursor), but each chunk's sort + write-out is an
+  // independent pool task. The budget is split so the `workers` chunks
+  // in flight together stay within work_pages; deques keep element
+  // addresses stable while the producer keeps appending slots.
+  const size_t run_capacity =
+      ExecContext::SplitBudget(work_pages, workers) * HeapFile::kRecordsPerPage;
+  ThreadPool* pool = exec->pool();
+  std::deque<HeapFile> chunk_runs;
+  std::deque<Status> chunk_status;
+  std::deque<std::future<void>> inflight;
 
   HeapFile::Scanner scan(bm, input);
   ElementRecord rec;
   Status st;
   bool more = true;
   while (more) {
-    buf.clear();
-    while (buf.size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
-      buf.push_back(rec);
+    auto buf = std::make_shared<std::vector<ElementRecord>>();
+    buf->reserve(run_capacity);
+    while (buf->size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
+      buf->push_back(rec);
     }
     PBITREE_RETURN_IF_ERROR(st);
-    if (buf.empty()) break;
-    std::sort(buf.begin(), buf.end(),
-              [order](const ElementRecord& a, const ElementRecord& b) {
-                return ElementLess(a, b, order);
-              });
-    PBITREE_ASSIGN_OR_RETURN(HeapFile run, HeapFile::Create(bm));
-    {
-      HeapFile::Appender app(bm, &run);
-      for (const ElementRecord& r : buf) {
-        PBITREE_RETURN_IF_ERROR(app.AppendElement(r));
-      }
+    if (buf->empty()) break;
+    chunk_runs.emplace_back();
+    chunk_status.emplace_back();
+    HeapFile* out = &chunk_runs.back();
+    Status* out_st = &chunk_status.back();
+    inflight.push_back(pool->Submit([bm, buf, order, out, out_st] {
+      *out_st = SortAndWriteRun(bm, buf.get(), order, out);
+    }));
+    if (inflight.size() >= workers) {
+      pool->Wait(inflight.front());
+      inflight.pop_front();
     }
-    runs->push_back(run);
   }
-  return Status::OK();
+  for (std::future<void>& f : inflight) pool->Wait(f);
+
+  Status result = Status::OK();
+  for (size_t i = 0; i < chunk_runs.size(); ++i) {
+    if (!chunk_status[i].ok() && result.ok()) result = chunk_status[i];
+    if (chunk_runs[i].valid()) runs->push_back(chunk_runs[i]);
+  }
+  return result;
 }
 
 /// Merges `inputs` into one run; drops the inputs afterwards.
@@ -104,12 +166,13 @@ Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
 }  // namespace
 
 Result<HeapFile> ExternalSort(BufferManager* bm, const HeapFile& input,
-                              size_t work_pages, SortOrder order) {
+                              size_t work_pages, SortOrder order,
+                              ExecContext* exec) {
   if (work_pages < 3) {
     return Status::InvalidArgument("ExternalSort needs >= 3 work pages");
   }
   std::vector<HeapFile> runs;
-  PBITREE_RETURN_IF_ERROR(GenerateRuns(bm, input, work_pages, order, &runs));
+  PBITREE_RETURN_IF_ERROR(GenerateRuns(bm, input, work_pages, order, exec, &runs));
   if (runs.empty()) return HeapFile::Create(bm);
 
   const size_t fan_in = work_pages - 1;

@@ -16,16 +16,17 @@ BufferManager::BufferManager(DiskManager* disk, size_t pool_pages)
 
 BufferManager::~BufferManager() { FlushAll(); }
 
-Result<size_t> BufferManager::FindVictim() {
+Result<size_t> BufferManager::FindVictimLocked() {
   // Classic clock sweep: skip pinned frames, clear reference bits, take
   // the first unreferenced unpinned frame. Two full sweeps guarantee
-  // termination when any frame is unpinned.
+  // termination when any frame is unpinned. Frames mid-transfer are
+  // pinned by the fetching thread, so the pin check covers them too.
   const size_t n = frames_.size();
   for (size_t step = 0; step < 2 * n; ++step) {
     Page* f = frames_[clock_hand_].get();
     size_t idx = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % n;
-    if (f->pin_count_ > 0) continue;
+    if (f->pin_count_ > 0 || f->io_pending_) continue;
     if (f->referenced_) {
       f->referenced_ = false;
       continue;
@@ -35,57 +36,104 @@ Result<size_t> BufferManager::FindVictim() {
   return Status::ResourceExhausted("buffer pool: all frames pinned");
 }
 
-Status BufferManager::EvictFrame(size_t idx) {
+PageId BufferManager::DetachFrameLocked(size_t idx) {
   Page* f = frames_[idx].get();
-  if (f->page_id_ == kInvalidPageId) return Status::OK();
-  if (f->is_dirty_) {
-    PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
-    ++stats_.dirty_writes;
-  }
+  if (f->page_id_ == kInvalidPageId) return kInvalidPageId;
   page_table_.erase(f->page_id_);
   ++stats_.evictions;
-  f->Reset();
-  return Status::OK();
+  if (!f->is_dirty_) return kInvalidPageId;
+  ++stats_.dirty_writes;
+  return f->page_id_;
 }
 
 Result<Page*> BufferManager::FetchPage(PageId page_id) {
+  std::unique_lock<std::mutex> lk(latch_);
   ++stats_.fetches;
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
+  for (;;) {
+    auto it = page_table_.find(page_id);
+    if (it == page_table_.end()) break;
     Page* f = frames_[it->second].get();
+    if (f->io_pending_) {
+      // Another thread is transferring this page; wait for the frame
+      // latch to clear, then re-probe (the transfer may have failed
+      // and removed the mapping).
+      io_cv_.wait(lk);
+      continue;
+    }
+    ++stats_.hits;
     ++f->pin_count_;
     f->referenced_ = true;
     return f;
   }
   ++stats_.misses;
-  PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictim());
-  PBITREE_RETURN_IF_ERROR(EvictFrame(idx));
+  PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
   Page* f = frames_[idx].get();
-  PBITREE_RETURN_IF_ERROR(disk_->ReadPage(page_id, f->data_));
+  const PageId write_back = DetachFrameLocked(idx);
   f->page_id_ = page_id;
   f->pin_count_ = 1;
   f->is_dirty_ = false;
   f->referenced_ = true;
+  f->io_pending_ = true;
   page_table_[page_id] = idx;
+  lk.unlock();
+
+  // The transfer runs outside the pool latch: the frame is reachable
+  // only through the new mapping, which io_pending_ blocks, so other
+  // threads fetch other pages concurrently. The frame still holds the
+  // evicted page's bytes for the write-back.
+  Status st;
+  if (write_back != kInvalidPageId) {
+    st = disk_->WritePage(write_back, f->data_);
+  }
+  if (st.ok()) st = disk_->ReadPage(page_id, f->data_);
+
+  lk.lock();
+  f->io_pending_ = false;
+  if (!st.ok()) {
+    page_table_.erase(page_id);
+    f->Reset();
+    io_cv_.notify_all();
+    return st;
+  }
+  io_cv_.notify_all();
   return f;
 }
 
 Result<Page*> BufferManager::NewPage() {
   PBITREE_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
-  PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictim());
-  PBITREE_RETURN_IF_ERROR(EvictFrame(idx));
+  std::unique_lock<std::mutex> lk(latch_);
+  PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
   Page* f = frames_[idx].get();
-  f->Reset();
+  const PageId write_back = DetachFrameLocked(idx);
   f->page_id_ = page_id;
   f->pin_count_ = 1;
-  f->is_dirty_ = true;  // a new page must reach disk even if untouched
+  f->is_dirty_ = false;  // set after the frame is cleaned
   f->referenced_ = true;
+  f->io_pending_ = true;
   page_table_[page_id] = idx;
+  lk.unlock();
+
+  Status st;
+  if (write_back != kInvalidPageId) {
+    st = disk_->WritePage(write_back, f->data_);
+  }
+  std::memset(f->data_, 0, kPageSize);
+
+  lk.lock();
+  f->io_pending_ = false;
+  if (!st.ok()) {
+    page_table_.erase(page_id);
+    f->Reset();
+    io_cv_.notify_all();
+    return st;
+  }
+  f->is_dirty_ = true;  // a new page must reach disk even if untouched
+  io_cv_.notify_all();
   return f;
 }
 
 Status BufferManager::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lk(latch_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound("UnpinPage: page " + std::to_string(page_id) +
@@ -102,9 +150,12 @@ Status BufferManager::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferManager::FlushPage(PageId page_id) {
+  std::unique_lock<std::mutex> lk(latch_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();
   Page* f = frames_[it->second].get();
+  while (f->io_pending_) io_cv_.wait(lk);
+  if (f->page_id_ != page_id) return Status::OK();  // evicted meanwhile
   if (f->is_dirty_) {
     PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
     ++stats_.dirty_writes;
@@ -114,8 +165,10 @@ Status BufferManager::FlushPage(PageId page_id) {
 }
 
 Status BufferManager::FlushAll() {
+  std::unique_lock<std::mutex> lk(latch_);
   for (auto& frame : frames_) {
     Page* f = frame.get();
+    while (f->io_pending_) io_cv_.wait(lk);
     if (f->page_id_ != kInvalidPageId && f->is_dirty_) {
       PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
       ++stats_.dirty_writes;
@@ -127,6 +180,7 @@ Status BufferManager::FlushAll() {
 
 Status BufferManager::PurgeAll() {
   PBITREE_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lk(latch_);
   for (auto& frame : frames_) {
     Page* f = frame.get();
     if (f->page_id_ == kInvalidPageId) continue;
@@ -142,20 +196,25 @@ Status BufferManager::PurgeAll() {
 }
 
 Status BufferManager::DeletePage(PageId page_id) {
+  std::unique_lock<std::mutex> lk(latch_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     Page* f = frames_[it->second].get();
+    while (f->io_pending_) io_cv_.wait(lk);
     if (f->pin_count_ > 0) {
       return Status::InvalidArgument("DeletePage: page " +
                                      std::to_string(page_id) + " is pinned");
     }
-    page_table_.erase(it);
-    f->Reset();
+    if (f->page_id_ == page_id) {
+      page_table_.erase(page_id);
+      f->Reset();
+    }
   }
   return disk_->FreePage(page_id);
 }
 
 size_t BufferManager::PinnedFrames() const {
+  std::lock_guard<std::mutex> lk(latch_);
   size_t n = 0;
   for (const auto& frame : frames_) {
     if (frame->pin_count_ > 0) ++n;

@@ -1,8 +1,10 @@
 #ifndef PBITREE_STORAGE_BUFFER_MANAGER_H_
 #define PBITREE_STORAGE_BUFFER_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +37,20 @@ struct BufferStats {
 /// Usage protocol: FetchPage/NewPage return a pinned frame; callers must
 /// UnpinPage(id, dirty) exactly once per pin. Unpinned frames are
 /// eligible for eviction.
+///
+/// Thread safety: FetchPage/NewPage/UnpinPage/DeletePage may be called
+/// concurrently. A single pool latch guards the page table, the clock
+/// hand and frame metadata; the actual disk transfer of a miss runs
+/// *outside* the latch with the frame marked `io_pending_` (a per-frame
+/// latch), so misses on different pages overlap their I/O. A fetch that
+/// hits a frame mid-transfer waits on the pool's I/O condition
+/// variable. Pinned frames are never victimised, so the data bytes of a
+/// returned Page* are only touched by its pin holders.
+///
+/// Maintenance operations (FlushPage/FlushAll/PurgeAll/ResetStats) are
+/// phase operations: callers run them while no worker threads are
+/// active (between measured runs), which the single-threaded seed
+/// behaviour already assumed.
 class BufferManager {
  public:
   /// `pool_pages` is the paper's `b` (number of buffer frames).
@@ -79,18 +95,27 @@ class BufferManager {
   size_t PinnedFrames() const;
 
  private:
-  /// Finds a victim frame via the clock sweep. Returns nullptr when all
-  /// frames are pinned.
-  Result<size_t> FindVictim();
+  /// Finds a victim frame via the clock sweep (latch held). Fails when
+  /// every frame is pinned or mid-transfer.
+  Result<size_t> FindVictimLocked();
 
-  /// Evicts the current occupant of frame `idx` (writing back if dirty).
-  Status EvictFrame(size_t idx);
+  /// Detaches frame `idx` from its current page (latch held): removes
+  /// the mapping and counts the eviction. Returns the write-back the
+  /// caller must perform outside the latch (old page id, or
+  /// kInvalidPageId when nothing needs writing).
+  PageId DetachFrameLocked(size_t idx);
 
   DiskManager* disk_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   size_t clock_hand_ = 0;
   BufferStats stats_;
+
+  /// The pool latch (see class comment). Mutable so that const
+  /// observers (PinnedFrames) can take it.
+  mutable std::mutex latch_;
+  /// Signalled whenever a frame's io_pending_ transfer completes.
+  std::condition_variable io_cv_;
 };
 
 /// \brief RAII pin guard: unpins on destruction.

@@ -48,30 +48,35 @@ DiskManager::~DiskManager() {
 }
 
 void DiskManager::SetFrontier(PageId frontier) {
-  if (frontier > next_page_id_) {
-    next_page_id_ = frontier;
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  if (frontier > next_page_id_.load(std::memory_order_relaxed)) {
+    next_page_id_.store(frontier, std::memory_order_release);
     if (is_free_.size() < frontier) is_free_.resize(frontier, false);
   }
 }
 
 Result<PageId> DiskManager::AllocatePage() {
-  ++stats_.pages_allocated;
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
     is_free_[id] = false;
     return id;
   }
-  PageId id = next_page_id_++;
+  PageId id = next_page_id_.load(std::memory_order_relaxed);
   if (id == kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
+  next_page_id_.store(id + 1, std::memory_order_release);
   if (is_free_.size() <= id) is_free_.resize(id + 1, false);
   return id;
 }
 
 Status DiskManager::FreePage(PageId page_id) {
-  if (page_id == 0 || page_id >= next_page_id_) {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  if (page_id == 0 ||
+      page_id >= next_page_id_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("FreePage: bad page id " +
                                    std::to_string(page_id));
   }
@@ -81,29 +86,30 @@ Status DiskManager::FreePage(PageId page_id) {
   }
   is_free_[page_id] = true;
   free_list_.push_back(page_id);
-  ++stats_.pages_freed;
+  stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status DiskManager::EnsureCapacity(PageId page_id) {
-  size_t need = (static_cast<size_t>(page_id) + 1) * kPageSize;
-  if (fd_ < 0) {
-    if (mem_.size() < need) mem_.resize(need, 0);
-    return Status::OK();
-  }
-  return Status::OK();  // real files are extended by pwrite
-}
-
 Status DiskManager::ReadPage(PageId page_id, char* out) {
-  if (page_id >= next_page_id_) {
+  if (page_id >= frontier()) {
     return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
                               " beyond frontier");
   }
-  ++stats_.page_reads;
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   if (fd_ < 0) {
-    PBITREE_RETURN_IF_ERROR(EnsureCapacity(page_id));
-    std::memcpy(out, mem_.data() + static_cast<size_t>(page_id) * kPageSize,
-                kPageSize);
+    const size_t off = static_cast<size_t>(page_id) * kPageSize;
+    {
+      std::shared_lock<std::shared_mutex> lk(mem_mu_);
+      if (mem_.size() >= off + kPageSize) {
+        std::memcpy(out, mem_.data() + off, kPageSize);
+        return Status::OK();
+      }
+    }
+    // Page allocated but never written: the store has not grown to
+    // cover it yet. Grow under the exclusive lock and serve zeroes.
+    std::unique_lock<std::shared_mutex> lk(mem_mu_);
+    if (mem_.size() < off + kPageSize) mem_.resize(off + kPageSize, 0);
+    std::memcpy(out, mem_.data() + off, kPageSize);
     return Status::OK();
   }
   ssize_t n = ::pread(fd_, out, kPageSize,
@@ -117,15 +123,23 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* in) {
-  if (page_id >= next_page_id_) {
+  if (page_id >= frontier()) {
     return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
                               " beyond frontier");
   }
-  ++stats_.page_writes;
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   if (fd_ < 0) {
-    PBITREE_RETURN_IF_ERROR(EnsureCapacity(page_id));
-    std::memcpy(mem_.data() + static_cast<size_t>(page_id) * kPageSize, in,
-                kPageSize);
+    const size_t off = static_cast<size_t>(page_id) * kPageSize;
+    {
+      std::shared_lock<std::shared_mutex> lk(mem_mu_);
+      if (mem_.size() >= off + kPageSize) {
+        std::memcpy(mem_.data() + off, in, kPageSize);
+        return Status::OK();
+      }
+    }
+    std::unique_lock<std::shared_mutex> lk(mem_mu_);
+    if (mem_.size() < off + kPageSize) mem_.resize(off + kPageSize, 0);
+    std::memcpy(mem_.data() + off, in, kPageSize);
     return Status::OK();
   }
   ssize_t n = ::pwrite(fd_, in, kPageSize,

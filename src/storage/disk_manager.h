@@ -1,7 +1,10 @@
 #ifndef PBITREE_STORAGE_DISK_MANAGER_H_
 #define PBITREE_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,10 @@ namespace pbitree {
 /// These are the primary cost metric of the reproduction: the paper's
 /// elapsed times are disk-bound, so relative algorithm performance is
 /// captured machine-independently by page read/write counts.
+///
+/// This is the plain snapshot type handed to callers; the live counters
+/// inside DiskManager are atomics (AtomicDiskStats) so that parallel
+/// workers can issue page I/O without racing the accounting.
 struct DiskStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
@@ -22,6 +29,30 @@ struct DiskStats {
   uint64_t pages_freed = 0;
 
   uint64_t TotalIO() const { return page_reads + page_writes; }
+};
+
+/// \brief The live, concurrently-updated counterpart of DiskStats.
+struct AtomicDiskStats {
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> page_writes{0};
+  std::atomic<uint64_t> pages_allocated{0};
+  std::atomic<uint64_t> pages_freed{0};
+
+  DiskStats Snapshot() const {
+    DiskStats s;
+    s.page_reads = page_reads.load(std::memory_order_relaxed);
+    s.page_writes = page_writes.load(std::memory_order_relaxed);
+    s.pages_allocated = pages_allocated.load(std::memory_order_relaxed);
+    s.pages_freed = pages_freed.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    page_reads.store(0, std::memory_order_relaxed);
+    page_writes.store(0, std::memory_order_relaxed);
+    pages_allocated.store(0, std::memory_order_relaxed);
+    pages_freed.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// \brief Paged database file with allocate/free, read/write and exact
@@ -69,32 +100,45 @@ class DiskManager {
 
   /// Number of pages ever allocated and not freed.
   uint64_t num_live_pages() const {
-    return stats_.pages_allocated - stats_.pages_freed;
+    return stats_.pages_allocated.load(std::memory_order_relaxed) -
+           stats_.pages_freed.load(std::memory_order_relaxed);
   }
 
   /// Highest page id handed out so far plus one (file size in pages).
-  PageId frontier() const { return next_page_id_; }
+  PageId frontier() const {
+    return next_page_id_.load(std::memory_order_acquire);
+  }
 
   /// Restores the allocation frontier after reopening a persistent
   /// database (ids below it are considered live). Only grows.
   void SetFrontier(PageId frontier);
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  /// Consistent point-in-time snapshot of the I/O counters. Returned by
+  /// value so existing delta arithmetic (`after - before`) keeps
+  /// working against the atomic live counters.
+  DiskStats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
  private:
   DiskManager(std::string path, int fd, bool unlink_on_close);
 
-  Status EnsureCapacity(PageId page_id);
-
   std::string path_;  // empty for in-memory databases
   int fd_;            // -1 for in-memory databases
   bool unlink_on_close_ = true;
+
+  /// Guards the in-memory backing store against concurrent resize:
+  /// page transfers take it shared, capacity growth takes it exclusive.
+  /// File-backed databases use pread/pwrite, which need no locking.
+  mutable std::shared_mutex mem_mu_;
   std::vector<char> mem_;
+
+  /// Guards allocation state (free list, free map, frontier growth).
+  std::mutex alloc_mu_;
   std::vector<PageId> free_list_;
   std::vector<bool> is_free_;
-  PageId next_page_id_ = 1;  // page 0 reserved for the header
-  DiskStats stats_;
+  std::atomic<PageId> next_page_id_{1};  // page 0 reserved for the header
+
+  AtomicDiskStats stats_;
 };
 
 }  // namespace pbitree

@@ -40,6 +40,7 @@ class Page {
     pin_count_ = 0;
     is_dirty_ = false;
     referenced_ = false;
+    io_pending_ = false;
   }
 
  private:
@@ -50,6 +51,10 @@ class Page {
   int pin_count_;
   bool is_dirty_;
   bool referenced_;  // clock-replacement reference bit
+  /// Frame latch for the miss path: set (under the pool latch) while
+  /// this frame's disk transfer runs outside the latch. Concurrent
+  /// fetches of the same page wait for it; the victim scan skips it.
+  bool io_pending_;
 };
 
 }  // namespace pbitree

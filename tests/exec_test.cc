@@ -1,0 +1,246 @@
+// Tests for the execution subsystem: ThreadPool semantics (exception
+// propagation, help-on-wait nesting), ExecContext budget splitting, the
+// ParallelPartitions driver, and a multi-threaded stress test of the
+// latched BufferManager.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/partition_exec.h"
+#include "exec/thread_pool.h"
+#include "join/join_context.h"
+#include "join/result_sink.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace pbitree {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The batch still runs to completion; only the error is rethrown.
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPoolTest, SubmitFutureCarriesException) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::logic_error("task failed"); });
+  pool.Wait(f);  // must not rethrow — the future carries the exception
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every worker blocks inside an outer ParallelFor iteration that
+  // itself calls ParallelFor on the same pool. Help-on-wait means the
+  // blocked iterations execute the inner tasks themselves.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedSubmitAndWaitDoesNotDeadlock) {
+  // Submit-and-Wait from inside pool tasks, deeper than the pool is
+  // wide: the waiting tasks must drain the queue themselves.
+  ThreadPool pool(2);
+  std::atomic<int> leaf_runs{0};
+  pool.ParallelFor(4, [&](size_t) {
+    std::future<void> f = pool.Submit([&] {
+      std::future<void> g = pool.Submit([&] { leaf_runs.fetch_add(1); });
+      pool.Wait(g);
+    });
+    pool.Wait(f);
+  });
+  EXPECT_EQ(leaf_runs.load(), 4);
+}
+
+TEST(ExecContextTest, SerialContextOwnsNoPool) {
+  ExecContext serial(1);
+  EXPECT_EQ(serial.threads(), 1u);
+  EXPECT_EQ(serial.pool(), nullptr);
+
+  ExecContext parallel(4);
+  EXPECT_EQ(parallel.threads(), 4u);
+  ASSERT_NE(parallel.pool(), nullptr);
+  EXPECT_EQ(parallel.pool()->num_threads(), 4u);
+}
+
+TEST(ExecContextTest, SplitBudgetDividesAndFloors) {
+  EXPECT_EQ(ExecContext::SplitBudget(100, 4), 25u);
+  EXPECT_EQ(ExecContext::SplitBudget(100, 1), 100u);
+  // Slices never drop below the 3-page algorithmic minimum.
+  EXPECT_EQ(ExecContext::SplitBudget(8, 4), 3u);
+  EXPECT_EQ(ExecContext::SplitBudget(0, 4), 3u);
+}
+
+class PartitionExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 64);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(PartitionExecTest, ShouldParallelizeRequiresPoolAndWork) {
+  JoinContext serial(bm_.get(), 16);
+  EXPECT_FALSE(ShouldParallelize(&serial, 8));  // no exec attached
+
+  ExecContext one(1);
+  JoinContext ctx1(bm_.get(), 16, &one);
+  EXPECT_FALSE(ShouldParallelize(&ctx1, 8));  // threads == 1
+
+  ExecContext four(4);
+  JoinContext ctx4(bm_.get(), 16, &four);
+  EXPECT_TRUE(ShouldParallelize(&ctx4, 8));
+  EXPECT_FALSE(ShouldParallelize(&ctx4, 1));  // single partition
+}
+
+TEST_F(PartitionExecTest, ReplaysPairsInPartitionOrderAndMergesStats) {
+  ExecContext exec(4);
+  JoinContext ctx(bm_.get(), 32, &exec);
+  constexpr size_t kParts = 16;
+
+  VectorSink sink;
+  Status st = ParallelPartitions(
+      &ctx, &sink, kParts,
+      [&](size_t i, JoinContext* worker, ResultSink* local_sink) {
+        // Workers get a budget slice and no nested pool.
+        EXPECT_EQ(worker->work_pages, ExecContext::SplitBudget(32, 4));
+        EXPECT_EQ(worker->exec, nullptr);
+        worker->stats.partitions += 1;
+        worker->stats.false_hits += i;
+        // Two pairs per partition, tagged with the partition index.
+        PBITREE_RETURN_IF_ERROR(local_sink->OnPair(i + 1, 2 * i + 1));
+        PBITREE_RETURN_IF_ERROR(local_sink->OnPair(i + 1, 2 * i + 2));
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Emission order is the serial loop's order regardless of which
+  // worker finished first.
+  ASSERT_EQ(sink.pairs().size(), 2 * kParts);
+  for (size_t i = 0; i < kParts; ++i) {
+    EXPECT_EQ(sink.pairs()[2 * i].ancestor_code, i + 1);
+    EXPECT_EQ(sink.pairs()[2 * i].descendant_code, 2 * i + 1);
+    EXPECT_EQ(sink.pairs()[2 * i + 1].descendant_code, 2 * i + 2);
+  }
+  EXPECT_EQ(ctx.stats.partitions, kParts);
+  EXPECT_EQ(ctx.stats.false_hits, kParts * (kParts - 1) / 2);
+}
+
+TEST_F(PartitionExecTest, FirstFailingPartitionWinsAndNothingIsEmitted) {
+  ExecContext exec(4);
+  JoinContext ctx(bm_.get(), 32, &exec);
+
+  VectorSink sink;
+  Status st = ParallelPartitions(
+      &ctx, &sink, 8, [&](size_t i, JoinContext*, ResultSink* local_sink) {
+        if (i >= 3) return Status::Internal("partition " + std::to_string(i));
+        return local_sink->OnPair(i, i);
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.ToString(), Status::Internal("partition 3").ToString());
+  EXPECT_TRUE(sink.pairs().empty());
+}
+
+// Concurrent FetchPage/NewPage/UnpinPage/DeletePage traffic from many
+// threads against a pool much smaller than the working set. Verifies
+// page contents survive eviction races, every pin is released, and the
+// disk's live-page accounting balances.
+TEST(BufferManagerStressTest, ConcurrentFetchNewUnpinDelete) {
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  BufferManager bm(disk.get(), 16);  // small pool: constant eviction
+
+  constexpr int kThreads = 8;
+  constexpr int kPagesPerThread = 40;
+  constexpr int kRounds = 6;
+  const uint64_t live_before = disk->num_live_pages();
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](int t) {
+    std::vector<PageId> mine;
+    for (int p = 0; p < kPagesPerThread; ++p) {
+      auto page = bm.NewPage();
+      if (!page.ok()) {
+        failed = true;
+        return;
+      }
+      PageId id = (*page)->page_id();
+      // Tag every byte with a thread/page-specific pattern.
+      std::memset((*page)->data(), (t * 31 + p) % 251, kPageSize);
+      if (!bm.UnpinPage(id, /*dirty=*/true).ok()) {
+        failed = true;
+        return;
+      }
+      mine.push_back(id);
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      for (int p = 0; p < kPagesPerThread; ++p) {
+        auto page = bm.FetchPage(mine[p]);
+        if (!page.ok()) {
+          failed = true;
+          return;
+        }
+        const char expect = (t * 31 + p) % 251;
+        const char* data = (*page)->data();
+        for (size_t b = 0; b < kPageSize; b += 509) {
+          if (data[b] != expect) {
+            failed = true;
+            break;
+          }
+        }
+        if (!bm.UnpinPage(mine[p], /*dirty=*/false).ok()) failed = true;
+        if (failed) return;
+      }
+    }
+    for (PageId id : mine) {
+      if (!bm.DeletePage(id).ok()) {
+        failed = true;
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(bm.PinnedFrames(), 0u);
+  EXPECT_EQ(disk->num_live_pages(), live_before);
+}
+
+}  // namespace
+}  // namespace pbitree

@@ -25,6 +25,7 @@ constexpr int kTreeHeight = 16;
 struct JoinCase {
   Algorithm algorithm;
   size_t work_pages;
+  size_t threads = 1;
 };
 
 std::string CaseName(const ::testing::TestParamInfo<JoinCase>& info) {
@@ -32,7 +33,11 @@ std::string CaseName(const ::testing::TestParamInfo<JoinCase>& info) {
   for (char& c : n) {
     if (c == '+') c = 'P';
   }
-  return n + "_b" + std::to_string(info.param.work_pages);
+  n += "_b" + std::to_string(info.param.work_pages);
+  if (info.param.threads > 1) {
+    n += "_t" + std::to_string(info.param.threads);
+  }
+  return n;
 }
 
 class JoinCorrectnessTest : public ::testing::TestWithParam<JoinCase> {
@@ -72,6 +77,7 @@ class JoinCorrectnessTest : public ::testing::TestWithParam<JoinCase> {
     VerifyingSink sink(&collected);  // failure injection: every pair re-checked
     RunOptions opts;
     opts.work_pages = GetParam().work_pages;
+    opts.threads = GetParam().threads;
     auto run = RunJoin(GetParam().algorithm, bm_.get(), a, d, &sink, opts);
     ASSERT_TRUE(run.ok()) << run.status().ToString();
 
@@ -186,20 +192,28 @@ TEST_P(JoinCorrectnessTest, RootContainsEverything) {
 }
 
 // SHCJ is only defined for single-height ancestor sets, so it gets its
-// own shape; the general matrix runs the other seven algorithms.
+// own shape; the general matrix runs the other seven algorithms. The
+// partition-parallel algorithms run twice more at threads=4: the result
+// set must be identical to the serial run (VerifyingSink re-checks each
+// pair, the sorted comparison catches drops/duplicates).
 INSTANTIATE_TEST_SUITE_P(
     Matrix, JoinCorrectnessTest,
     ::testing::Values(JoinCase{Algorithm::kVpj, 8},
                       JoinCase{Algorithm::kVpj, 16},
                       JoinCase{Algorithm::kVpj, 64},
+                      JoinCase{Algorithm::kVpj, 16, 4},
+                      JoinCase{Algorithm::kVpj, 64, 4},
                       JoinCase{Algorithm::kMhcj, 4},
                       JoinCase{Algorithm::kMhcj, 64},
+                      JoinCase{Algorithm::kMhcj, 16, 4},
                       JoinCase{Algorithm::kMhcjRollup, 4},
                       JoinCase{Algorithm::kMhcjRollup, 16},
                       JoinCase{Algorithm::kMhcjRollup, 64},
+                      JoinCase{Algorithm::kMhcjRollup, 16, 4},
                       JoinCase{Algorithm::kStackTree, 3},
                       JoinCase{Algorithm::kStackTree, 16},
                       JoinCase{Algorithm::kMpmgjn, 4},
+                      JoinCase{Algorithm::kMpmgjn, 4, 4},
                       JoinCase{Algorithm::kInljn, 8},
                       JoinCase{Algorithm::kInljn, 64},
                       JoinCase{Algorithm::kAdb, 8},
@@ -235,7 +249,8 @@ TEST_P(ShcjTest, RejectsMultiHeightAncestors) {
 
 INSTANTIATE_TEST_SUITE_P(Shcj, ShcjTest,
                          ::testing::Values(JoinCase{Algorithm::kShcj, 4},
-                                           JoinCase{Algorithm::kShcj, 64}),
+                                           JoinCase{Algorithm::kShcj, 64},
+                                           JoinCase{Algorithm::kShcj, 16, 4}),
                          CaseName);
 
 }  // namespace

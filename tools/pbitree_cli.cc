@@ -7,6 +7,10 @@
 //   pbitree_cli query <db> '//a//b//c'   evaluate a descendant path by
 //                                        chaining containment joins
 //
+// `query` accepts `--threads N` (default 1): N > 1 runs the
+// partitioned joins on an N-worker pool; 1 is the strictly serial,
+// paper-faithful execution.
+//
 // The database file survives restarts: `encode` once, `query` many
 // times. Queries run on whatever access paths exist — freshly loaded
 // sets are neither sorted nor indexed, so the framework picks the
@@ -14,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -105,7 +110,8 @@ int CmdList(const std::string& db_path) {
   return 0;
 }
 
-int CmdQuery(const std::string& db_path, const std::string& query_text) {
+int CmdQuery(const std::string& db_path, const std::string& query_text,
+             size_t threads) {
   auto parsed = ParseTwigQuery(query_text);
   if (!parsed.ok()) return Fail(parsed.status());
 
@@ -123,6 +129,7 @@ int CmdQuery(const std::string& db_path, const std::string& query_text) {
 
   RunOptions opts;
   opts.work_pages = kPoolPages / 2;
+  opts.threads = threads;
   ElementSetProvider provider = [&](const std::string& tag) {
     return catalog->Get(&bm, tag);
   };
@@ -143,20 +150,34 @@ int CmdQuery(const std::string& db_path, const std::string& query_text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 4 && std::strcmp(argv[1], "encode") == 0) {
-    return CmdEncode(argv[2], argv[3]);
+  // Extract `--threads N` from anywhere on the command line.
+  size_t threads = 1;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--threads") == 0) {
+      long n = std::atol(argv[i + 1]);
+      threads = n < 1 ? 1 : static_cast<size_t>(n);
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
   }
-  if (argc >= 3 && std::strcmp(argv[1], "list") == 0) {
-    return CmdList(argv[2]);
+  const int n = static_cast<int>(args.size());
+
+  if (n >= 4 && std::strcmp(args[1], "encode") == 0) {
+    return CmdEncode(args[2], args[3]);
   }
-  if (argc >= 4 && std::strcmp(argv[1], "query") == 0) {
-    return CmdQuery(argv[2], argv[3]);
+  if (n >= 3 && std::strcmp(args[1], "list") == 0) {
+    return CmdList(args[2]);
+  }
+  if (n >= 4 && std::strcmp(args[1], "query") == 0) {
+    return CmdQuery(args[2], args[3], threads);
   }
   std::fprintf(stderr,
                "usage:\n"
                "  %s encode <doc.xml> <db>\n"
                "  %s list <db>\n"
-               "  %s query <db> '//a[//p]//b//c'\n",
+               "  %s query [--threads N] <db> '//a[//p]//b//c'\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }
