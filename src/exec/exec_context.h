@@ -15,12 +15,18 @@ namespace pbitree {
 /// treat that (and a null ExecContext pointer) as "run serially, exactly
 /// like the single-threaded code path" — this is what makes `threads=1`
 /// byte-identical to the pre-exec behaviour, I/O counts included.
+///
+/// The pool holds threads() - 1 workers: the help-on-wait model makes
+/// the blocked caller the final executor, so at most threads() tasks
+/// run concurrently and SplitBudget(work_pages, threads()) slices sum
+/// to the true budget — no thread or memory oversubscription.
 class ExecContext {
  public:
   /// `threads` <= 1 selects serial execution (no pool is created).
   explicit ExecContext(size_t threads)
       : threads_(threads < 1 ? 1 : threads),
-        pool_(threads_ > 1 ? std::make_unique<ThreadPool>(threads_) : nullptr) {}
+        pool_(threads_ > 1 ? std::make_unique<ThreadPool>(threads_ - 1)
+                           : nullptr) {}
 
   size_t threads() const { return threads_; }
 

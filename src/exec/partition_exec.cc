@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "storage/heap_file.h"
+
 namespace pbitree {
 
 bool ShouldParallelize(const JoinContext* ctx, size_t n) {
@@ -21,7 +23,13 @@ Status ParallelPartitions(JoinContext* ctx, ResultSink* sink, size_t n,
   std::vector<JoinContext> worker_ctxs;
   worker_ctxs.reserve(n);
   for (size_t i = 0; i < n; ++i) worker_ctxs.emplace_back(ctx->bm, slice);
-  std::vector<BufferingSink> local_sinks(n);
+  // Each local sink buffers at most its worker's budget slice worth of
+  // pairs in memory and spills the rest to a temp heap file, so join
+  // output larger than the budget cannot blow up the heap.
+  const size_t max_buffered = slice * HeapFile::kRecordsPerPage;
+  std::vector<BufferingSink> local_sinks;
+  local_sinks.reserve(n);
+  for (size_t i = 0; i < n; ++i) local_sinks.emplace_back(ctx->bm, max_buffered);
   std::vector<Status> statuses(n);
 
   exec->pool()->ParallelFor(n, [&](size_t i) {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 namespace pbitree {
@@ -35,6 +36,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    SignalProgress();
   }
 }
 
@@ -47,7 +49,17 @@ bool ThreadPool::RunOneTask() {
     queue_.pop_front();
   }
   task();
+  SignalProgress();
   return true;
+}
+
+void ThreadPool::SignalProgress() {
+  // The lock orders this notify after any waiter's predicate check:
+  // a waiter re-checks under mu_ and only then blocks, so a completion
+  // that post-dates its check must acquire mu_ — i.e. wait for the
+  // waiter to actually be waiting — before notifying.
+  std::lock_guard<std::mutex> lk(mu_);
+  progress_cv_.notify_all();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
@@ -56,6 +68,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back([task] { (*task)(); });
+    progress_cv_.notify_all();  // blocked helpers can run the new task
   }
   task_cv_.notify_one();
   return fut;
@@ -63,12 +76,14 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 
 void ThreadPool::Wait(std::future<void>& f) {
   // Help-on-wait: drain the shared queue while the future is pending.
-  // The future has no completion hook to attach a wakeup to, so an
-  // empty queue degrades to a short timed wait.
+  // With the queue empty, sleep on progress_cv_ until some task
+  // finishes (possibly ours) or new work arrives to help with.
   while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-    if (!RunOneTask()) {
-      f.wait_for(std::chrono::microseconds(200));
-    }
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!queue_.empty()) continue;
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) break;
+    progress_cv_.wait(lk);
   }
 }
 
@@ -81,7 +96,6 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
 
   struct Batch {
     std::mutex mu;
-    std::condition_variable done_cv;
     size_t remaining;
     std::exception_ptr error;
   };
@@ -101,25 +115,35 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
           if (!batch->error) batch->error = std::current_exception();
         }
         std::lock_guard<std::mutex> bl(batch->mu);
-        if (--batch->remaining == 0) batch->done_cv.notify_all();
+        --batch->remaining;
+        // The executor (WorkerLoop/RunOneTask) signals progress_cv_
+        // right after this task returns — that is the wakeup.
       });
     }
+    progress_cv_.notify_all();  // blocked helpers can pick up the batch
   }
   task_cv_.notify_all();
 
   // The caller helps: run any queued task (its own batch, another
-  // batch, or a nested submission) until this batch completes. Tasks
-  // of this batch still running on workers are waited out on done_cv.
+  // batch, or a nested submission) until this batch completes. With
+  // the queue empty, sleep on progress_cv_ until a task of this batch
+  // finishes on a worker or new helpable work is enqueued. Lock order
+  // is mu_ then batch->mu here; completers take them one at a time, so
+  // a completion after our remaining-check blocks on mu_ (held until
+  // the wait actually parks) and its notify cannot be missed.
   for (;;) {
     {
-      std::unique_lock<std::mutex> bl(batch->mu);
+      std::lock_guard<std::mutex> bl(batch->mu);
       if (batch->remaining == 0) break;
     }
-    if (!RunOneTask()) {
-      std::unique_lock<std::mutex> bl(batch->mu);
-      batch->done_cv.wait_for(bl, std::chrono::microseconds(200),
-                              [&] { return batch->remaining == 0; });
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!queue_.empty()) continue;
+    {
+      std::lock_guard<std::mutex> bl(batch->mu);
+      if (batch->remaining == 0) break;
     }
+    progress_cv_.wait(lk);
   }
   if (batch->error) std::rethrow_exception(batch->error);
 }

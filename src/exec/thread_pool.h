@@ -60,8 +60,16 @@ class ThreadPool {
   /// empty (nothing ran).
   bool RunOneTask();
 
+  /// Wakes blocked Wait/ParallelFor callers. Called after every task
+  /// completion and enqueue; takes mu_ so a caller that checked its
+  /// predicate under mu_ cannot miss the wakeup.
+  void SignalProgress();
+
   std::mutex mu_;
   std::condition_variable task_cv_;  // signalled on push and on stop
+  /// Signalled whenever a task finishes or is enqueued — the wakeup
+  /// channel for Wait/ParallelFor callers that found the queue empty.
+  std::condition_variable progress_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stop_ = false;

@@ -59,23 +59,72 @@ class VectorSink : public ResultSink {
   std::vector<ResultPair> pairs_;
 };
 
-/// Buffers pairs in memory for later replay into another sink — the
-/// thread-local sink of the partition-parallel execution driver. Each
-/// worker emits into its own BufferingSink with no synchronisation;
-/// the driver replays every buffer into the shared sink in partition
-/// order once all workers finished, reproducing the serial emission
-/// sequence.
+/// Buffers pairs for later replay into another sink — the thread-local
+/// sink of the partition-parallel execution driver. Each worker emits
+/// into its own BufferingSink with no synchronisation; the driver
+/// replays every buffer into the shared sink in partition order once
+/// all workers finished, reproducing the serial emission sequence.
+///
+/// Containment-join output can dwarf the input, so a sink constructed
+/// with a BufferManager bounds its heap footprint: once `max_buffered`
+/// pairs accumulate they are spilled to a temp heap file and replayed
+/// from disk first (spill order == emission order). The
+/// default-constructed sink never spills (unbounded memory — only for
+/// tests and known-small outputs).
 class BufferingSink : public ResultSink {
  public:
+  BufferingSink() = default;
+
+  BufferingSink(BufferManager* bm, size_t max_buffered)
+      : bm_(bm), max_buffered_(max_buffered < 1 ? 1 : max_buffered) {}
+
+  /// Error paths abandon the sink without replaying it; drop any spill
+  /// file so its temp pages don't leak.
+  ~BufferingSink() override {
+    if (bm_ != nullptr && spill_.valid()) spill_.Drop(bm_);
+  }
+
+  /// Move transfers spill-file ownership (a HeapFile handle copy
+  /// aliases the same pages, so the source must forget it).
+  BufferingSink(BufferingSink&& o) noexcept
+      : bm_(o.bm_),
+        max_buffered_(o.max_buffered_),
+        spill_(o.spill_),
+        pairs_(std::move(o.pairs_)) {
+    count_ = o.count_;
+    o.bm_ = nullptr;
+    o.spill_ = HeapFile();
+    o.count_ = 0;
+  }
+
+  BufferingSink(const BufferingSink&) = delete;
+  BufferingSink& operator=(const BufferingSink&) = delete;
+  BufferingSink& operator=(BufferingSink&&) = delete;
+
   Status OnPair(Code a, Code d) override {
     ++count_;
     pairs_.push_back(ResultPair{a, d});
+    if (bm_ != nullptr && pairs_.size() >= max_buffered_) return Spill();
     return Status::OK();
   }
 
-  /// Forwards every buffered pair to `target` (in emission order) and
-  /// clears the buffer.
+  /// Forwards every buffered pair to `target` (in emission order:
+  /// spilled pairs first, then the in-memory tail) and clears the
+  /// buffer.
   Status ReplayInto(ResultSink* target) {
+    if (spill_.valid()) {
+      {
+        HeapFile::Scanner scan(bm_, spill_);
+        ResultPair p;
+        Status st;
+        while (scan.NextPair(&p, &st)) {
+          PBITREE_RETURN_IF_ERROR(
+              target->OnPair(p.ancestor_code, p.descendant_code));
+        }
+        PBITREE_RETURN_IF_ERROR(st);
+      }
+      PBITREE_RETURN_IF_ERROR(spill_.Drop(bm_));
+    }
     for (const ResultPair& p : pairs_) {
       PBITREE_RETURN_IF_ERROR(target->OnPair(p.ancestor_code, p.descendant_code));
     }
@@ -83,7 +132,26 @@ class BufferingSink : public ResultSink {
     return Status::OK();
   }
 
+  /// True when any pairs went to disk (tests).
+  bool spilled() const { return spill_.valid(); }
+
  private:
+  Status Spill() {
+    if (!spill_.valid()) {
+      PBITREE_ASSIGN_OR_RETURN(spill_, HeapFile::Create(bm_));
+    }
+    HeapFile::Appender app(bm_, &spill_);
+    for (const ResultPair& p : pairs_) {
+      PBITREE_RETURN_IF_ERROR(app.AppendPair(p));
+    }
+    app.Finish();
+    pairs_.clear();
+    return Status::OK();
+  }
+
+  BufferManager* bm_ = nullptr;
+  size_t max_buffered_ = 0;
+  HeapFile spill_;
   std::vector<ResultPair> pairs_;
 };
 

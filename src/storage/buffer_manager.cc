@@ -51,7 +51,15 @@ Result<Page*> BufferManager::FetchPage(PageId page_id) {
   ++stats_.fetches;
   for (;;) {
     auto it = page_table_.find(page_id);
-    if (it == page_table_.end()) break;
+    if (it == page_table_.end()) {
+      if (writebacks_.count(page_id) == 0) break;
+      // The page was just evicted dirty and its newest bytes are still
+      // in flight to disk. Reading it back now would return the stale
+      // on-disk copy (and race the write on the in-memory backend), so
+      // wait for the write-back to land, then re-probe.
+      io_cv_.wait(lk);
+      continue;
+    }
     Page* f = frames_[it->second].get();
     if (f->io_pending_) {
       // Another thread is transferring this page; wait for the frame
@@ -69,6 +77,7 @@ Result<Page*> BufferManager::FetchPage(PageId page_id) {
   PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
   Page* f = frames_[idx].get();
   const PageId write_back = DetachFrameLocked(idx);
+  if (write_back != kInvalidPageId) writebacks_.insert(write_back);
   f->page_id_ = page_id;
   f->pin_count_ = 1;
   f->is_dirty_ = false;
@@ -80,7 +89,8 @@ Result<Page*> BufferManager::FetchPage(PageId page_id) {
   // The transfer runs outside the pool latch: the frame is reachable
   // only through the new mapping, which io_pending_ blocks, so other
   // threads fetch other pages concurrently. The frame still holds the
-  // evicted page's bytes for the write-back.
+  // evicted page's bytes for the write-back, whose id stays in
+  // writebacks_ until the write lands.
   Status st;
   if (write_back != kInvalidPageId) {
     st = disk_->WritePage(write_back, f->data_);
@@ -89,6 +99,7 @@ Result<Page*> BufferManager::FetchPage(PageId page_id) {
 
   lk.lock();
   f->io_pending_ = false;
+  if (write_back != kInvalidPageId) writebacks_.erase(write_back);
   if (!st.ok()) {
     page_table_.erase(page_id);
     f->Reset();
@@ -105,6 +116,7 @@ Result<Page*> BufferManager::NewPage() {
   PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
   Page* f = frames_[idx].get();
   const PageId write_back = DetachFrameLocked(idx);
+  if (write_back != kInvalidPageId) writebacks_.insert(write_back);
   f->page_id_ = page_id;
   f->pin_count_ = 1;
   f->is_dirty_ = false;  // set after the frame is cleaned
@@ -121,9 +133,11 @@ Result<Page*> BufferManager::NewPage() {
 
   lk.lock();
   f->io_pending_ = false;
+  if (write_back != kInvalidPageId) writebacks_.erase(write_back);
   if (!st.ok()) {
     page_table_.erase(page_id);
     f->Reset();
+    (void)disk_->FreePage(page_id);  // don't leak the fresh id
     io_cv_.notify_all();
     return st;
   }
@@ -197,18 +211,29 @@ Status BufferManager::PurgeAll() {
 
 Status BufferManager::DeletePage(PageId page_id) {
   std::unique_lock<std::mutex> lk(latch_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
+  for (;;) {
+    // Never free a page whose evicted dirty copy is still being
+    // written back: a recycled id could then be clobbered by the
+    // in-flight write. Wait the write-back out, then re-probe (the
+    // page may have been re-fetched meanwhile).
+    if (writebacks_.count(page_id) != 0) {
+      io_cv_.wait(lk);
+      continue;
+    }
+    auto it = page_table_.find(page_id);
+    if (it == page_table_.end()) break;
     Page* f = frames_[it->second].get();
-    while (f->io_pending_) io_cv_.wait(lk);
+    if (f->io_pending_) {
+      io_cv_.wait(lk);
+      continue;
+    }
     if (f->pin_count_ > 0) {
       return Status::InvalidArgument("DeletePage: page " +
                                      std::to_string(page_id) + " is pinned");
     }
-    if (f->page_id_ == page_id) {
-      page_table_.erase(page_id);
-      f->Reset();
-    }
+    page_table_.erase(page_id);
+    f->Reset();
+    break;
   }
   return disk_->FreePage(page_id);
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -44,8 +45,13 @@ struct BufferStats {
 /// *outside* the latch with the frame marked `io_pending_` (a per-frame
 /// latch), so misses on different pages overlap their I/O. A fetch that
 /// hits a frame mid-transfer waits on the pool's I/O condition
-/// variable. Pinned frames are never victimised, so the data bytes of a
-/// returned Page* are only touched by its pin holders.
+/// variable. Evicting a dirty victim additionally records its page id
+/// in a write-back table until the write lands on disk: a miss (or
+/// DeletePage) on that id waits on the same condition variable, so no
+/// thread can read a stale on-disk copy — or free the page — while its
+/// newest bytes are still in flight. Pinned frames are never
+/// victimised, so the data bytes of a returned Page* are only touched
+/// by its pin holders.
 ///
 /// Maintenance operations (FlushPage/FlushAll/PurgeAll/ResetStats) are
 /// phase operations: callers run them while no worker threads are
@@ -108,6 +114,10 @@ class BufferManager {
   DiskManager* disk_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;
+  /// Page ids of evicted dirty victims whose write-back is in flight
+  /// (see class comment). A page id appears at most once: the miss path
+  /// waits it out before re-caching the page.
+  std::unordered_set<PageId> writebacks_;
   size_t clock_hand_ = 0;
   BufferStats stats_;
 

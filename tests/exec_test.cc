@@ -90,7 +90,10 @@ TEST(ExecContextTest, SerialContextOwnsNoPool) {
   ExecContext parallel(4);
   EXPECT_EQ(parallel.threads(), 4u);
   ASSERT_NE(parallel.pool(), nullptr);
-  EXPECT_EQ(parallel.pool()->num_threads(), 4u);
+  // threads - 1 pool workers: the help-on-wait caller is the fourth
+  // executor, so at most threads() tasks ever run concurrently and the
+  // SplitBudget slices cannot oversubscribe work_pages.
+  EXPECT_EQ(parallel.pool()->num_threads(), 3u);
 }
 
 TEST(ExecContextTest, SplitBudgetDividesAndFloors) {
@@ -157,6 +160,41 @@ TEST_F(PartitionExecTest, ReplaysPairsInPartitionOrderAndMergesStats) {
   }
   EXPECT_EQ(ctx.stats.partitions, kParts);
   EXPECT_EQ(ctx.stats.false_hits, kParts * (kParts - 1) / 2);
+}
+
+TEST_F(PartitionExecTest, BufferingSinkSpillsAndReplaysInOrder) {
+  const uint64_t live_before = disk_->num_live_pages();
+  {
+    BufferingSink sink(bm_.get(), /*max_buffered=*/8);  // force spills
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(sink.OnPair(i, i + 1).ok());
+    }
+    EXPECT_TRUE(sink.spilled());
+    EXPECT_EQ(sink.count(), 100u);
+
+    VectorSink out;
+    ASSERT_TRUE(sink.ReplayInto(&out).ok());
+    ASSERT_EQ(out.pairs().size(), 100u);
+    // Emission order survives the round-trip through disk.
+    for (uint64_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(out.pairs()[i].ancestor_code, i);
+      EXPECT_EQ(out.pairs()[i].descendant_code, i + 1);
+    }
+  }
+  // Replay dropped the spill file: no pins, no leaked pages.
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  EXPECT_EQ(disk_->num_live_pages(), live_before);
+}
+
+TEST_F(PartitionExecTest, BufferingSinkDropsAbandonedSpill) {
+  const uint64_t live_before = disk_->num_live_pages();
+  {
+    BufferingSink sink(bm_.get(), /*max_buffered=*/4);
+    for (uint64_t i = 0; i < 20; ++i) ASSERT_TRUE(sink.OnPair(i, i).ok());
+    EXPECT_TRUE(sink.spilled());
+  }  // destroyed without replay — the failed-partition path
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  EXPECT_EQ(disk_->num_live_pages(), live_before);
 }
 
 TEST_F(PartitionExecTest, FirstFailingPartitionWinsAndNothingIsEmitted) {
