@@ -11,11 +11,15 @@ namespace bench {
 
 BenchConfig BenchConfig::FromEnv() {
   BenchConfig c;
-  c.scale = EnvDouble("PBITREE_BENCH_SCALE", c.scale);
-  c.seed = static_cast<uint64_t>(EnvInt64("PBITREE_BENCH_SEED", 42));
-  c.sim_io_ms = EnvDouble("PBITREE_SIM_IO_MS", c.sim_io_ms);
-  int64_t threads = EnvInt64("PBITREE_THREADS", 1);
-  c.threads = threads < 1 ? 1 : static_cast<size_t>(threads);
+  // Checked reads: a knob set to nonsense (scale <= 0, threads == 0,
+  // negative latency) aborts with the accepted range instead of
+  // producing an empty dataset or a silently-clamped thread count.
+  c.scale = EnvDoubleChecked("PBITREE_BENCH_SCALE", c.scale, 1e-6, 1e3);
+  c.seed = static_cast<uint64_t>(
+      EnvInt64Checked("PBITREE_BENCH_SEED", 42, 0, INT64_MAX));
+  c.sim_io_ms = EnvDoubleChecked("PBITREE_SIM_IO_MS", c.sim_io_ms, 0.0, 1e6);
+  c.threads =
+      static_cast<size_t>(EnvInt64Checked("PBITREE_THREADS", 1, 1, 4096));
   return c;
 }
 
@@ -30,6 +34,35 @@ Env::Env(size_t pool_pages)
     : disk(DiskManager::OpenInMemory()),
       bm(std::make_unique<BufferManager>(disk.get(), pool_pages + 4)) {}
 
+namespace {
+
+/// PBITREE_METRICS_JSON=<path> sink: one JSON object per measured
+/// operation, appended as a line (JSONL). Key set and order are fixed
+/// by RunResult + MetricsSnapshot::ToJson, so downstream tooling (and
+/// the CI determinism check) can diff runs line by line.
+void MaybeDumpMetrics(const char* op, const RunResult& r) {
+  static const char* path = std::getenv("PBITREE_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open PBITREE_METRICS_JSON file %s\n",
+                 path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"op\":\"%s\",\"algorithm\":\"%s\",\"page_reads\":%llu,"
+               "\"page_writes\":%llu,\"output_pairs\":%llu,"
+               "\"wall_seconds\":%.6f,\"metrics\":%s}\n",
+               op, AlgorithmName(r.algorithm),
+               static_cast<unsigned long long>(r.page_reads),
+               static_cast<unsigned long long>(r.page_writes),
+               static_cast<unsigned long long>(r.output_pairs),
+               r.wall_seconds, r.metrics.ToJson().c_str());
+  std::fclose(f);
+}
+
+}  // namespace
+
 RunResult MustRun(Algorithm alg, BufferManager* bm, const ElementSet& a,
                   const ElementSet& d, const RunOptions& opts) {
   CountingSink sink;
@@ -39,6 +72,7 @@ RunResult MustRun(Algorithm alg, BufferManager* bm, const ElementSet& a,
                  run.status().ToString().c_str());
     std::abort();
   }
+  MaybeDumpMetrics("run", *run);
   return *run;
 }
 
@@ -50,6 +84,9 @@ MinRgnResult MustRunMinRgn(BufferManager* bm, const ElementSet& a,
                  run.status().ToString().c_str());
     std::abort();
   }
+  MaybeDumpMetrics("min_rgn", run->inljn);
+  MaybeDumpMetrics("min_rgn", run->stacktree);
+  MaybeDumpMetrics("min_rgn", run->adb);
   return *run;
 }
 

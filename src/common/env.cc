@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 
 namespace pbitree {
 
@@ -38,6 +39,43 @@ double EnvDouble(const char* name, double def) {
   char* end = nullptr;
   double parsed = std::strtod(v, &end);
   if (end == v) return def;
+  return parsed;
+}
+
+namespace {
+
+[[noreturn]] void FatalEnv(const char* name, const char* value,
+                           const std::string& accepted) {
+  std::fprintf(stderr, "FATAL: %s=\"%s\" is invalid (accepted: %s)\n", name,
+               value, accepted.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int64_t EnvInt64Checked(const char* name, int64_t def, int64_t min,
+                        int64_t max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  const std::string accepted = "integer in [" + std::to_string(min) + ", " +
+                               std::to_string(max) + "]";
+  if (end == v || *end != '\0') FatalEnv(name, v, accepted);
+  if (parsed < min || parsed > max) FatalEnv(name, v, accepted);
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDoubleChecked(const char* name, double def, double min, double max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  const std::string accepted = "number in [" + std::to_string(min) + ", " +
+                               std::to_string(max) + "]";
+  if (end == v || *end != '\0') FatalEnv(name, v, accepted);
+  // NaN fails both bound checks' negations, so comparisons reject it.
+  if (!(parsed >= min && parsed <= max)) FatalEnv(name, v, accepted);
   return parsed;
 }
 

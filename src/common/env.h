@@ -24,6 +24,15 @@ int64_t EnvInt64(const char* name, int64_t def);
 /// or unparsable.
 double EnvDouble(const char* name, double def);
 
+/// Validating variants for user-facing knobs: unset returns `def`, but a
+/// set value that does not parse or falls outside [min, max] aborts with
+/// a message naming the variable, the offending value and the accepted
+/// range — a knob the user bothered to set must never be silently
+/// ignored or clamped into meaning something else.
+int64_t EnvInt64Checked(const char* name, int64_t def, int64_t min,
+                        int64_t max);
+double EnvDoubleChecked(const char* name, double def, double min, double max);
+
 }  // namespace pbitree
 
 #endif  // PBITREE_COMMON_ENV_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/heap_file.h"
 
 namespace pbitree {
@@ -42,6 +43,7 @@ Status ParallelPartitions(JoinContext* ctx, ResultSink* sink, size_t n,
     if (result.ok() && !statuses[i].ok()) result = statuses[i];
   }
   if (!result.ok()) return result;
+  obs::ObsSpan replay_span(obs::Phase::kReplay);
   for (size_t i = 0; i < n; ++i) {
     PBITREE_RETURN_IF_ERROR(local_sinks[i].ReplayInto(sink));
   }

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -50,6 +52,9 @@ bool ThreadPool::RunOneTask() {
   }
   task();
   SignalProgress();
+  // Billed to the *helping* thread's operation: its blocking call made
+  // progress by executing someone's task instead of sleeping.
+  obs::Count(obs::Counter::kPoolHelpRuns);
   return true;
 }
 
@@ -65,9 +70,20 @@ void ThreadPool::SignalProgress() {
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> fut = task->get_future();
+  // Tasks bill to the registry of the operation that *enqueued* them,
+  // not whatever scope the executing worker happens to carry — this is
+  // what keeps interleaved operations' metrics disjoint.
+  obs::MetricRegistry* reg = obs::CurrentRegistry();
+  obs::Count(obs::Counter::kPoolTasks);
   {
     std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back([task] { (*task)(); });
+    queue_.push_back([task, reg] {
+      obs::MetricScope scope(reg);
+      (*task)();
+    });
+    if (reg != nullptr) {
+      reg->UpdateGaugeMax(obs::Gauge::kPoolQueueDepth, queue_.size());
+    }
     progress_cv_.notify_all();  // blocked helpers can run the new task
   }
   task_cv_.notify_one();
@@ -102,12 +118,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   auto batch = std::make_shared<Batch>();
   batch->remaining = n;
 
+  obs::MetricRegistry* reg = obs::CurrentRegistry();
+  obs::Count(obs::Counter::kPoolTasks, n);
+
   // `body` outlives every task: ParallelFor returns only once
   // remaining hits zero, so capturing it by reference is safe.
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (size_t i = 0; i < n; ++i) {
-      queue_.push_back([batch, &body, i] {
+      queue_.push_back([batch, &body, reg, i] {
+        obs::MetricScope scope(reg);
         try {
           body(i);
         } catch (...) {
@@ -119,6 +139,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
         // The executor (WorkerLoop/RunOneTask) signals progress_cv_
         // right after this task returns — that is the wakeup.
       });
+    }
+    if (reg != nullptr) {
+      reg->UpdateGaugeMax(obs::Gauge::kPoolQueueDepth, queue_.size());
     }
     progress_cv_.notify_all();  // blocked helpers can pick up the batch
   }

@@ -191,22 +191,59 @@ Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
   RunResult result;
   result.algorithm = alg;
 
+  // Per-operation metric scope: everything this run does — on this
+  // thread and on any pool worker executing its tasks — bills to
+  // `registry` and nothing else does, so interleaved operations on the
+  // same DiskManager report disjoint I/O (the old global DiskStats
+  // delta charged foreign traffic to whoever was being timed). A
+  // caller-installed registry is reused so multi-join pipelines
+  // accumulate; result.metrics is always just this run's delta.
+  std::optional<obs::MetricRegistry> local_registry;
+  obs::MetricRegistry* registry = obs::CurrentRegistry();
+  if (registry == nullptr) {
+    local_registry.emplace();
+    registry = &local_registry.value();
+  }
+  obs::MetricScope scope(registry);
+
   if (options.cold_cache) {
+    // Before the baseline snapshot: flushing a previous run's leftover
+    // dirty pages must not be charged to this run.
     PBITREE_RETURN_IF_ERROR(bm->PurgeAll());
   }
-  DiskStats before = bm->disk()->stats();
+  obs::MetricsSnapshot before = registry->Snapshot();
   Timer timer;
 
   ExecContext exec(options.threads);
   JoinContext ctx(bm, options.work_pages, &exec);
   PBITREE_RETURN_IF_ERROR(Dispatch(alg, &ctx, a, d, sink, options));
-  // Force dirty pages out so writes are charged to this run.
-  PBITREE_RETURN_IF_ERROR(bm->FlushAll());
+  {
+    // Force dirty pages out so writes are charged to this run.
+    obs::ObsSpan flush_span(obs::Phase::kFlush);
+    PBITREE_RETURN_IF_ERROR(bm->FlushAll());
+  }
 
   result.wall_seconds = timer.ElapsedSeconds();
-  DiskStats after = bm->disk()->stats();
-  result.page_reads = after.page_reads - before.page_reads;
-  result.page_writes = after.page_writes - before.page_writes;
+
+  // Fold the algorithm-internal stats in so the metrics report is
+  // self-contained.
+  registry->Add(obs::Counter::kJoinOutputPairs, ctx.stats.output_pairs);
+  registry->Add(obs::Counter::kJoinFalseHits, ctx.stats.false_hits);
+  registry->Add(obs::Counter::kJoinPartitions, ctx.stats.partitions);
+  registry->Add(obs::Counter::kJoinPurgedPartitions,
+                ctx.stats.purged_partitions);
+  registry->Add(obs::Counter::kJoinMergedPartitions,
+                ctx.stats.merged_partitions);
+  registry->Add(obs::Counter::kJoinReplicatedNodes,
+                ctx.stats.replicated_nodes);
+  registry->Add(obs::Counter::kJoinIndexProbes, ctx.stats.index_probes);
+  registry->UpdateGaugeMax(obs::Gauge::kJoinRecursionDepth,
+                           ctx.stats.recursion_depth);
+
+  obs::MetricsSnapshot after = registry->Snapshot();
+  result.metrics = after.Delta(before);
+  result.page_reads = result.metrics.counter(obs::Counter::kPageReads);
+  result.page_writes = result.metrics.counter(obs::Counter::kPageWrites);
   result.stats = ctx.stats;
   result.output_pairs = ctx.stats.output_pairs;
   result.simulated_seconds =

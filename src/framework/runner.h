@@ -13,6 +13,7 @@
 #include "join/mhcj_rollup.h"
 #include "join/result_sink.h"
 #include "join/vpj.h"
+#include "obs/metrics.h"
 
 namespace pbitree {
 
@@ -66,6 +67,11 @@ struct RunResult {
   double wall_seconds = 0.0;
   /// wall_seconds + simulated_io_ms * (reads + writes) / 1000.
   double simulated_seconds = 0.0;
+  /// Full per-operation metrics (counters, phase spans, wait
+  /// histograms), attributed through the run's registry scope —
+  /// everything this run caused and nothing anyone else did.
+  /// `page_reads`/`page_writes` above are copies of its I/O counters.
+  obs::MetricsSnapshot metrics;
 
   uint64_t TotalIO() const { return page_reads + page_writes; }
 };
@@ -74,8 +80,14 @@ struct RunResult {
 /// (sorted copy, index) on the fly and charging it to the measurement —
 /// exactly the experimental protocol of Section 4.
 ///
-/// I/O counts are DiskManager deltas over the call; wall time includes
-/// preparation. Temporary files and indexes are dropped before return.
+/// I/O and event counts come from a per-operation obs::MetricRegistry
+/// scope installed for the duration of the call (and propagated to pool
+/// workers), so concurrent traffic on the same DiskManager is never
+/// billed to this run; wall time includes preparation. Temporary files
+/// and indexes are dropped before return. When the caller already has a
+/// registry scope installed (a query pipeline accumulating several
+/// joins), the run bills into it and `result.metrics` is the delta this
+/// run contributed.
 Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
                           const ElementSet& a, const ElementSet& d,
                           ResultSink* sink, const RunOptions& options);

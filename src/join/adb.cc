@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 namespace {
@@ -64,6 +66,7 @@ Status AdbJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
   const int h_max = a.MaxHeight();
   const uint64_t l_max = (uint64_t{2} << h_max) - 2;
 
+  obs::ObsSpan merge_span(obs::Phase::kMerge);
   IndexCursor a_cur(ctx->bm, a_start_index);
   IndexCursor d_cur(ctx->bm, d_start_index);
   PBITREE_RETURN_IF_ERROR(a_cur.SeekTo(0));

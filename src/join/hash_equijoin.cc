@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/partition_exec.h"
+#include "obs/metrics.h"
 
 namespace pbitree {
 
@@ -55,6 +56,7 @@ Status InMemoryJoin(JoinContext* ctx, const HeapFile& a_file,
   std::unordered_multimap<uint64_t, Code> table;
   table.reserve(build.num_records());
   {
+    obs::ObsSpan build_span(obs::Phase::kBuild);
     HeapFile::Scanner scan(ctx->bm, build);
     ElementRecord rec;
     Status st;
@@ -65,6 +67,7 @@ Status InMemoryJoin(JoinContext* ctx, const HeapFile& a_file,
     PBITREE_RETURN_IF_ERROR(st);
   }
 
+  obs::ObsSpan probe_span(obs::Phase::kProbe);
   HeapFile::Scanner scan(ctx->bm, probe);
   ElementRecord rec;
   Status st;
@@ -123,6 +126,7 @@ Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
 /// Hash-partitions `input` on the rolled key into `k` files.
 Status PartitionFile(JoinContext* ctx, const HeapFile& input, int h, size_t k,
                      int salt, std::vector<HeapFile>* parts) {
+  obs::ObsSpan partition_span(obs::Phase::kPartition);
   parts->clear();
   parts->resize(k);
   std::vector<std::unique_ptr<HeapFile::Appender>> apps(k);

@@ -1,5 +1,7 @@
 #include "join/inljn.h"
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 namespace {
@@ -72,6 +74,7 @@ Status Inljn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
   } else {
     outer_a = can_probe_d;
   }
+  obs::ObsSpan probe_span(obs::Phase::kProbe);
   return outer_a ? ProbeDescendants(ctx, a, *indexes.d_code_index, sink)
                  : ProbeAncestors(ctx, d, *indexes.a_interval_index, sink);
 }

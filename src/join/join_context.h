@@ -13,9 +13,10 @@ class ExecContext;
 /// \brief Counters every join algorithm fills in while running.
 ///
 /// I/O counters (page reads/writes) are measured externally by the
-/// framework runner from DiskManager deltas; the fields here are the
-/// algorithm-internal events the paper reports (false hits of
-/// MHCJ+Rollup in Table 2(f), partition counts, replication of VPJ).
+/// framework runner through its per-operation obs::MetricRegistry
+/// scope; the fields here are the algorithm-internal events the paper
+/// reports (false hits of MHCJ+Rollup in Table 2(f), partition counts,
+/// replication of VPJ).
 struct JoinStats {
   uint64_t output_pairs = 0;
   uint64_t false_hits = 0;        // equijoin matches rejected by Lemma 1
@@ -37,8 +38,13 @@ struct JoinStats {
     replicated_nodes += o.replicated_nodes;
     if (o.recursion_depth > recursion_depth) recursion_depth = o.recursion_depth;
     index_probes += o.index_probes;
-    sort_seconds += o.sort_seconds;
-    index_build_seconds += o.index_build_seconds;
+    // Phase timers are wall-clock, so merging parallel workers must
+    // take the critical path (max), not the sum — summing would report
+    // more phase time than the operation actually took.
+    if (o.sort_seconds > sort_seconds) sort_seconds = o.sort_seconds;
+    if (o.index_build_seconds > index_build_seconds) {
+      index_build_seconds = o.index_build_seconds;
+    }
   }
 };
 

@@ -5,6 +5,7 @@
 
 #include "exec/partition_exec.h"
 #include "join/hash_equijoin.h"
+#include "obs/metrics.h"
 
 namespace pbitree {
 
@@ -37,6 +38,7 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
 
     std::vector<HeapFile> parts(end - base);
     {
+      obs::ObsSpan partition_span(obs::Phase::kPartition);
       std::vector<std::unique_ptr<HeapFile::Appender>> apps(end - base);
       HeapFile::Scanner scan(ctx->bm, a.file);
       ElementRecord rec;

@@ -3,6 +3,7 @@
 #include <deque>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "sort/external_sort.h"
 
 namespace pbitree {
@@ -76,6 +77,7 @@ Status Mpmgjn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
         "MPMGJN requires both inputs sorted in document order");
   }
 
+  obs::ObsSpan merge_span(obs::Phase::kMerge);
   HeapFile::Scanner a_scan(ctx->bm, a.file);
   RewindableScan d_scan(ctx->bm, d.file);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "pbitree/code.h"
 #include "storage/heap_file.h"
 
@@ -140,6 +141,8 @@ class BufferingSink : public ResultSink {
     if (!spill_.valid()) {
       PBITREE_ASSIGN_OR_RETURN(spill_, HeapFile::Create(bm_));
     }
+    obs::Count(obs::Counter::kSinkSpills);
+    obs::Count(obs::Counter::kSinkSpilledPairs, pairs_.size());
     HeapFile::Appender app(bm_, &spill_);
     for (const ResultPair& p : pairs_) {
       PBITREE_RETURN_IF_ERROR(app.AppendPair(p));

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sort/external_sort.h"
 
 namespace pbitree {
@@ -30,6 +31,7 @@ Status StackTreeJoin(JoinContext* ctx, const ElementSet& a,
   // nested in the one below). Its depth is bounded by the PBiTree
   // height, so it always fits in memory — the key property of the
   // stack-tree algorithms.
+  obs::ObsSpan merge_span(obs::Phase::kMerge);
   std::vector<Code> stack;
 
   while (d_live && (a_live || !stack.empty())) {
@@ -114,6 +116,7 @@ Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
         "StackTree requires both inputs sorted in document order");
   }
 
+  obs::ObsSpan merge_span(obs::Phase::kMerge);
   HeapFile::Scanner a_scan(ctx->bm, a.file);
   HeapFile::Scanner d_scan(ctx->bm, d.file);
   ElementRecord a_rec, d_rec;

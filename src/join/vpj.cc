@@ -9,6 +9,7 @@
 
 #include "exec/partition_exec.h"
 #include "join/hash_equijoin.h"
+#include "obs/metrics.h"
 
 namespace pbitree {
 
@@ -97,6 +98,7 @@ struct VpjRunner {
     if (depth > static_cast<int>(ctx->stats.recursion_depth)) {
       ctx->stats.recursion_depth = depth;
     }
+    obs::GaugeMax(obs::Gauge::kJoinRecursionDepth, depth);
 
     const uint64_t budget = ctx->WorkRecordBudget();
     if (std::min(a_file.num_records(), d_file.num_records()) <= budget ||
@@ -179,6 +181,7 @@ struct VpjRunner {
     };
 
     {
+      obs::ObsSpan partition_span(obs::Phase::kPartition);
       HeapFile::Scanner scan(ctx->bm, a_file);
       ElementRecord rec;
       Status st;
@@ -217,6 +220,7 @@ struct VpjRunner {
       a_apps.clear();  // unpin A tails before the D pass
     }
     {
+      obs::ObsSpan partition_span(obs::Phase::kPartition);
       HeapFile::Scanner scan(ctx->bm, d_file);
       ElementRecord rec;
       Status st;

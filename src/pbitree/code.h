@@ -2,6 +2,7 @@
 #define PBITREE_PBITREE_CODE_H_
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 
 #include "common/status.h"
@@ -53,11 +54,33 @@ inline Code AncestorAtHeight(Code code, int h) {
   return ((code >> (h + 1)) << (h + 1)) + (Code{1} << h);
 }
 
+/// Domain of the G function: level `l` exists in the tree and `alpha`
+/// indexes one of its 2^l nodes. Outside this domain G's shift/multiply
+/// silently wraps (worst at H == kMaxTreeHeight, where the result space
+/// has no slack bits), so callers with untrusted inputs must check
+/// first — or use CheckedCodeOfTopDown.
+inline bool IsValidTopDown(uint64_t alpha, int level,
+                           const PBiTreeSpec& spec) {
+  return spec.height >= 1 && spec.height <= kMaxTreeHeight && level >= 0 &&
+         level < spec.height && alpha < (uint64_t{1} << level);
+}
+
 /// The G function (Lemma 2): PBiTree code of the alpha-th node (0-based,
 /// left to right) on level `l`: G(alpha, l) = (1 + 2*alpha) * 2^(H-l-1).
+/// Precondition: IsValidTopDown(alpha, level, spec) — in-domain inputs
+/// never overflow (the result is < 2^H <= 2^63), out-of-domain ones
+/// wrap silently in release builds.
 inline Code CodeOfTopDown(uint64_t alpha, int level, const PBiTreeSpec& spec) {
+  assert(IsValidTopDown(alpha, level, spec) &&
+         "CodeOfTopDown called outside G's domain");
   return (1 + 2 * alpha) << (spec.height - level - 1);
 }
+
+/// Checked variant of CodeOfTopDown for untrusted (alpha, level) —
+/// parser input, CLI arguments: InvalidArgument instead of a silently
+/// wrapped code.
+Result<Code> CheckedCodeOfTopDown(uint64_t alpha, int level,
+                                  const PBiTreeSpec& spec);
 
 /// Inverse of G: the 0-based left-to-right position of `code` on its
 /// level.
@@ -141,9 +164,12 @@ inline bool PrefixIsAncestor(const PrefixCode& a, const PrefixCode& d) {
          (d.path() >> (d.path_length() - a.path_length())) == a.path();
 }
 
-/// Checks that `code` is a legal code of the given PBiTree.
+/// Checks that `code` is a legal code of the given PBiTree. A spec
+/// outside [1, kMaxTreeHeight] has no legal codes (without the height
+/// guard, MaxCode()'s shift would be undefined for height > 63).
 inline bool IsValidCode(Code code, const PBiTreeSpec& spec) {
-  return code >= 1 && code <= spec.MaxCode();
+  return spec.height >= 1 && spec.height <= kMaxTreeHeight && code >= 1 &&
+         code <= spec.MaxCode();
 }
 
 /// Range of codes in the subtree rooted at `code`: [start, end] of its

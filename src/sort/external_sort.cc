@@ -7,6 +7,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 bool ElementLess(const ElementRecord& a, const ElementRecord& b,
@@ -171,12 +173,16 @@ Result<HeapFile> ExternalSort(BufferManager* bm, const HeapFile& input,
   if (work_pages < 3) {
     return Status::InvalidArgument("ExternalSort needs >= 3 work pages");
   }
+  obs::ObsSpan sort_span(obs::Phase::kSort);
   std::vector<HeapFile> runs;
   PBITREE_RETURN_IF_ERROR(GenerateRuns(bm, input, work_pages, order, exec, &runs));
+  obs::Count(obs::Counter::kSortRuns, runs.size());
   if (runs.empty()) return HeapFile::Create(bm);
 
   const size_t fan_in = work_pages - 1;
   while (runs.size() > 1) {
+    obs::ObsSpan merge_span(obs::Phase::kMerge);
+    obs::Count(obs::Counter::kSortMergePasses);
     std::vector<HeapFile> next;
     for (size_t i = 0; i < runs.size(); i += fan_in) {
       size_t end = std::min(runs.size(), i + fan_in);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 BufferManager::BufferManager(DiskManager* disk, size_t pool_pages)
@@ -41,14 +43,19 @@ PageId BufferManager::DetachFrameLocked(size_t idx) {
   if (f->page_id_ == kInvalidPageId) return kInvalidPageId;
   page_table_.erase(f->page_id_);
   ++stats_.evictions;
+  obs::Count(obs::Counter::kBufEvictions);
   if (!f->is_dirty_) return kInvalidPageId;
   ++stats_.dirty_writes;
+  obs::Count(obs::Counter::kBufDirtyWrites);
   return f->page_id_;
 }
 
 Result<Page*> BufferManager::FetchPage(PageId page_id) {
+  obs::LatencyTimer latch_wait(obs::Latency::kLatchWait);
   std::unique_lock<std::mutex> lk(latch_);
+  latch_wait.Finish();
   ++stats_.fetches;
+  obs::Count(obs::Counter::kBufFetches);
   for (;;) {
     auto it = page_table_.find(page_id);
     if (it == page_table_.end()) {
@@ -57,7 +64,9 @@ Result<Page*> BufferManager::FetchPage(PageId page_id) {
       // in flight to disk. Reading it back now would return the stale
       // on-disk copy (and race the write on the in-memory backend), so
       // wait for the write-back to land, then re-probe.
+      obs::LatencyTimer io_wait(obs::Latency::kIoWait);
       io_cv_.wait(lk);
+      io_wait.Finish();
       continue;
     }
     Page* f = frames_[it->second].get();
@@ -65,15 +74,19 @@ Result<Page*> BufferManager::FetchPage(PageId page_id) {
       // Another thread is transferring this page; wait for the frame
       // latch to clear, then re-probe (the transfer may have failed
       // and removed the mapping).
+      obs::LatencyTimer io_wait(obs::Latency::kIoWait);
       io_cv_.wait(lk);
+      io_wait.Finish();
       continue;
     }
     ++stats_.hits;
+    obs::Count(obs::Counter::kBufHits);
     ++f->pin_count_;
     f->referenced_ = true;
     return f;
   }
   ++stats_.misses;
+  obs::Count(obs::Counter::kBufMisses);
   PBITREE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
   Page* f = frames_[idx].get();
   const PageId write_back = DetachFrameLocked(idx);
@@ -168,11 +181,16 @@ Status BufferManager::FlushPage(PageId page_id) {
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();
   Page* f = frames_[it->second].get();
-  while (f->io_pending_) io_cv_.wait(lk);
+  while (f->io_pending_) {
+    obs::LatencyTimer io_wait(obs::Latency::kIoWait);
+    io_cv_.wait(lk);
+    io_wait.Finish();
+  }
   if (f->page_id_ != page_id) return Status::OK();  // evicted meanwhile
   if (f->is_dirty_) {
     PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
     ++stats_.dirty_writes;
+    obs::Count(obs::Counter::kBufDirtyWrites);
     f->is_dirty_ = false;
   }
   return Status::OK();
@@ -182,10 +200,15 @@ Status BufferManager::FlushAll() {
   std::unique_lock<std::mutex> lk(latch_);
   for (auto& frame : frames_) {
     Page* f = frame.get();
-    while (f->io_pending_) io_cv_.wait(lk);
+    while (f->io_pending_) {
+      obs::LatencyTimer io_wait(obs::Latency::kIoWait);
+      io_cv_.wait(lk);
+      io_wait.Finish();
+    }
     if (f->page_id_ != kInvalidPageId && f->is_dirty_) {
       PBITREE_RETURN_IF_ERROR(disk_->WritePage(f->page_id_, f->data_));
       ++stats_.dirty_writes;
+      obs::Count(obs::Counter::kBufDirtyWrites);
       f->is_dirty_ = false;
     }
   }
@@ -217,14 +240,18 @@ Status BufferManager::DeletePage(PageId page_id) {
     // in-flight write. Wait the write-back out, then re-probe (the
     // page may have been re-fetched meanwhile).
     if (writebacks_.count(page_id) != 0) {
+      obs::LatencyTimer io_wait(obs::Latency::kIoWait);
       io_cv_.wait(lk);
+      io_wait.Finish();
       continue;
     }
     auto it = page_table_.find(page_id);
     if (it == page_table_.end()) break;
     Page* f = frames_[it->second].get();
     if (f->io_pending_) {
+      obs::LatencyTimer io_wait(obs::Latency::kIoWait);
       io_cv_.wait(lk);
+      io_wait.Finish();
       continue;
     }
     if (f->pin_count_ > 0) {

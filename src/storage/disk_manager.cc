@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 DiskManager::DiskManager(std::string path, int fd, bool unlink_on_close)
@@ -58,6 +60,7 @@ void DiskManager::SetFrontier(PageId frontier) {
 Result<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lk(alloc_mu_);
   stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kPagesAllocated);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -87,6 +90,7 @@ Status DiskManager::FreePage(PageId page_id) {
   is_free_[page_id] = true;
   free_list_.push_back(page_id);
   stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kPagesFreed);
   return Status::OK();
 }
 
@@ -96,6 +100,7 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
                               " beyond frontier");
   }
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kPageReads);
   if (fd_ < 0) {
     const size_t off = static_cast<size_t>(page_id) * kPageSize;
     {
@@ -128,6 +133,7 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
                               " beyond frontier");
   }
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kPageWrites);
   if (fd_ < 0) {
     const size_t off = static_cast<size_t>(page_id) * kPageSize;
     {

@@ -140,6 +140,51 @@ TEST(EnvTest, EnvIntAndDoubleParse) {
   ::unsetenv("PBITREE_TEST_BAD");
 }
 
+TEST(EnvCheckedTest, UnsetReturnsDefaultAndValidParses) {
+  ::unsetenv("PBITREE_TEST_CHECKED");
+  EXPECT_EQ(EnvInt64Checked("PBITREE_TEST_CHECKED", 9, 1, 100), 9);
+  EXPECT_EQ(EnvDoubleChecked("PBITREE_TEST_CHECKED", 0.5, 0.0, 1.0), 0.5);
+  ::setenv("PBITREE_TEST_CHECKED", "42", 1);
+  EXPECT_EQ(EnvInt64Checked("PBITREE_TEST_CHECKED", 9, 1, 100), 42);
+  ::setenv("PBITREE_TEST_CHECKED", "0.25", 1);
+  EXPECT_EQ(EnvDoubleChecked("PBITREE_TEST_CHECKED", 0.5, 0.0, 1.0), 0.25);
+  // Boundary values are accepted.
+  ::setenv("PBITREE_TEST_CHECKED", "100", 1);
+  EXPECT_EQ(EnvInt64Checked("PBITREE_TEST_CHECKED", 9, 1, 100), 100);
+  ::unsetenv("PBITREE_TEST_CHECKED");
+}
+
+TEST(EnvCheckedDeathTest, UnparsableValueAborts) {
+  ::setenv("PBITREE_TEST_CHECKED", "abc", 1);
+  EXPECT_DEATH(EnvInt64Checked("PBITREE_TEST_CHECKED", 9, 1, 100), "invalid");
+  EXPECT_DEATH(EnvDoubleChecked("PBITREE_TEST_CHECKED", 0.5, 0.0, 1.0),
+               "invalid");
+  ::unsetenv("PBITREE_TEST_CHECKED");
+}
+
+TEST(EnvCheckedDeathTest, TrailingJunkAborts) {
+  // A partially numeric value ("2x", "1.5 banana") must not be read as
+  // its numeric prefix.
+  ::setenv("PBITREE_TEST_CHECKED", "2x", 1);
+  EXPECT_DEATH(EnvInt64Checked("PBITREE_TEST_CHECKED", 9, 1, 100), "invalid");
+  ::setenv("PBITREE_TEST_CHECKED", "1.5 banana", 1);
+  EXPECT_DEATH(EnvDoubleChecked("PBITREE_TEST_CHECKED", 0.5, 0.0, 10.0),
+               "invalid");
+  ::unsetenv("PBITREE_TEST_CHECKED");
+}
+
+TEST(EnvCheckedDeathTest, OutOfRangeAborts) {
+  ::setenv("PBITREE_TEST_CHECKED", "0", 1);
+  EXPECT_DEATH(EnvInt64Checked("PBITREE_TEST_CHECKED", 9, 1, 100), "invalid");
+  ::setenv("PBITREE_TEST_CHECKED", "-1", 1);
+  EXPECT_DEATH(EnvDoubleChecked("PBITREE_TEST_CHECKED", 0.5, 0.0, 1.0),
+               "invalid");
+  ::setenv("PBITREE_TEST_CHECKED", "nan", 1);
+  EXPECT_DEATH(EnvDoubleChecked("PBITREE_TEST_CHECKED", 0.5, 0.0, 1.0),
+               "invalid");
+  ::unsetenv("PBITREE_TEST_CHECKED");
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;

@@ -1,7 +1,9 @@
 // Targeted edge cases across modules: the Grace hash join's
 // block-nested-loop fallback under pathological key skew, MHCJ's
 // multi-batch height partitioning under tiny budgets, buffer-pool
-// purging, serializer pretty-printing, and runner cold-cache semantics.
+// purging, serializer pretty-printing, runner cold-cache semantics,
+// and the coding functions at the H == kMaxTreeHeight (63) boundary
+// where the code space has no slack bits.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,7 @@
 #include "join/hash_equijoin.h"
 #include "join/mhcj.h"
 #include "join/result_sink.h"
+#include "pbitree/code.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -177,6 +180,83 @@ TEST_F(EdgeCaseTest, ColdCacheRunsChargeInputReads) {
   EXPECT_EQ(warm_run->output_pairs, cold_run->output_pairs);
   EXPECT_GT(cold_run->page_reads, warm_run->page_reads);
   EXPECT_GE(cold_run->page_reads, a.num_pages() + d.num_pages());
+}
+
+TEST(MaxHeightCodingTest, TopDownDomainBoundaries) {
+  PBiTreeSpec max{kMaxTreeHeight};  // H = 63
+  // Every level of the full-height tree is in-domain, including the
+  // deepest (level 62, the leaves) with its largest alpha.
+  EXPECT_TRUE(IsValidTopDown(0, 0, max));
+  EXPECT_TRUE(IsValidTopDown(0, 62, max));
+  EXPECT_TRUE(IsValidTopDown((uint64_t{1} << 62) - 1, 62, max));
+  // One past each edge is out.
+  EXPECT_FALSE(IsValidTopDown(uint64_t{1} << 62, 62, max));  // alpha too big
+  EXPECT_FALSE(IsValidTopDown(0, 63, max));                  // level >= H
+  EXPECT_FALSE(IsValidTopDown(0, -1, max));
+  EXPECT_FALSE(IsValidTopDown(0, 0, PBiTreeSpec{0}));   // empty tree
+  EXPECT_FALSE(IsValidTopDown(0, 0, PBiTreeSpec{64}));  // H > 63
+}
+
+TEST(MaxHeightCodingTest, CodesAtHeight63StayInDomainAndRoundTrip) {
+  PBiTreeSpec max{kMaxTreeHeight};
+  // Root of the full-height tree: level 0, alpha 0.
+  Code root = CodeOfTopDown(0, 0, max);
+  EXPECT_EQ(root, max.RootCode());
+  EXPECT_EQ(root, Code{1} << 62);
+  EXPECT_TRUE(IsValidCode(root, max));
+
+  // Rightmost leaf: the largest legal code, 2^63 - 1. Its region must
+  // not wrap even though there are no slack bits above it.
+  Code last_leaf = CodeOfTopDown((uint64_t{1} << 62) - 1, 62, max);
+  EXPECT_EQ(last_leaf, max.MaxCode());
+  EXPECT_EQ(last_leaf, (Code{1} << 63) - 1);
+  EXPECT_TRUE(IsValidCode(last_leaf, max));
+  EXPECT_EQ(HeightOf(last_leaf), 0);
+  EXPECT_EQ(ToRegion(last_leaf), (Region{last_leaf, last_leaf}));
+
+  // The root's region spans the whole code space.
+  EXPECT_EQ(ToRegion(root), (Region{1, max.MaxCode()}));
+  EXPECT_TRUE(IsAncestor(root, last_leaf));
+
+  // G and its inverses agree on a sample of (alpha, level) pairs.
+  for (int level : {0, 1, 31, 61, 62}) {
+    uint64_t top = (uint64_t{1} << level) - 1;
+    for (uint64_t alpha : {uint64_t{0}, top / 2, top}) {
+      Code c = CodeOfTopDown(alpha, level, max);
+      EXPECT_TRUE(IsValidCode(c, max)) << level << "/" << alpha;
+      EXPECT_EQ(LevelOf(c, max), level);
+      EXPECT_EQ(AlphaOf(c, max), alpha);
+    }
+  }
+}
+
+TEST(MaxHeightCodingTest, CheckedTopDownRejectsOutOfDomain) {
+  PBiTreeSpec max{kMaxTreeHeight};
+  auto ok = CheckedCodeOfTopDown((uint64_t{1} << 62) - 1, 62, max);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, max.MaxCode());
+
+  EXPECT_EQ(CheckedCodeOfTopDown(uint64_t{1} << 62, 62, max).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedCodeOfTopDown(0, 63, max).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedCodeOfTopDown(0, -1, max).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedCodeOfTopDown(0, 0, PBiTreeSpec{0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedCodeOfTopDown(0, 0, PBiTreeSpec{64}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MaxHeightCodingTest, IsValidCodeGuardsDegenerateSpecs) {
+  // Specs outside [1, 63] have no legal codes — and asking must not be
+  // undefined behaviour (MaxCode() would shift by >= 64 for H > 63).
+  EXPECT_FALSE(IsValidCode(1, PBiTreeSpec{0}));
+  EXPECT_FALSE(IsValidCode(1, PBiTreeSpec{64}));
+  EXPECT_FALSE(IsValidCode(1, PBiTreeSpec{-1}));
+  EXPECT_FALSE(IsValidCode(0, PBiTreeSpec{16}));  // 0 is reserved
+  EXPECT_TRUE(IsValidCode(1, PBiTreeSpec{1}));    // smallest tree: one leaf
+  EXPECT_FALSE(IsValidCode(2, PBiTreeSpec{1}));
 }
 
 TEST(SerializerIndentTest, PrettyPrintsAndRoundTrips) {

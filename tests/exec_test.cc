@@ -17,6 +17,7 @@
 #include "exec/thread_pool.h"
 #include "join/join_context.h"
 #include "join/result_sink.h"
+#include "obs/metrics.h"
 #include "storage/buffer_manager.h"
 #include "storage/disk_manager.h"
 
@@ -193,6 +194,49 @@ TEST_F(PartitionExecTest, BufferingSinkDropsAbandonedSpill) {
     for (uint64_t i = 0; i < 20; ++i) ASSERT_TRUE(sink.OnPair(i, i).ok());
     EXPECT_TRUE(sink.spilled());
   }  // destroyed without replay — the failed-partition path
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  EXPECT_EQ(disk_->num_live_pages(), live_before);
+}
+
+TEST_F(PartitionExecTest, BufferingSinkSpillsAreCountedInMetrics) {
+  obs::MetricRegistry reg;
+  obs::MetricScope scope(&reg);
+  BufferingSink sink(bm_.get(), /*max_buffered=*/8);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sink.OnPair(i, i + 1).ok());
+  }
+  ASSERT_TRUE(sink.spilled());
+  VectorSink out;
+  ASSERT_TRUE(sink.ReplayInto(&out).ok());
+
+  // 100 pairs with an 8-pair buffer: 12 spills of 8 pairs each hit
+  // disk, the 4-pair tail replays from memory.
+  auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kSinkSpills), 12u);
+  EXPECT_EQ(snap.counter(obs::Counter::kSinkSpilledPairs), 96u);
+}
+
+TEST_F(PartitionExecTest, FailingPartitionWithSpillsLeaksNoTempPages) {
+  // The error path abandons every worker's BufferingSink after some of
+  // them spilled to disk; their temp files must be dropped, not leaked.
+  ExecContext exec(4);
+  JoinContext ctx(bm_.get(), 32, &exec);
+  const uint64_t live_before = disk_->num_live_pages();
+
+  obs::MetricRegistry reg;
+  obs::MetricScope scope(&reg);
+  VectorSink sink;
+  Status st = ParallelPartitions(
+      &ctx, &sink, 8, [&](size_t i, JoinContext*, ResultSink* local_sink) {
+        for (uint64_t k = 0; k < 5000; ++k) {  // enough pairs to spill
+          PBITREE_RETURN_IF_ERROR(local_sink->OnPair(k + 1, k + 2));
+        }
+        if (i == 5) return Status::Internal("boom");
+        return Status::OK();
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(sink.pairs().empty());
+  EXPECT_GT(reg.Snapshot().counter(obs::Counter::kSinkSpills), 0u);
   EXPECT_EQ(bm_->PinnedFrames(), 0u);
   EXPECT_EQ(disk_->num_live_pages(), live_before);
 }

@@ -9,7 +9,9 @@
 //
 // `query` accepts `--threads N` (default 1): N > 1 runs the
 // partitioned joins on an N-worker pool; 1 is the strictly serial,
-// paper-faithful execution.
+// paper-faithful execution. `--metrics` prints the query's full
+// per-operation metrics report (counters, phase spans, wait
+// histograms) as one JSON object on stdout after the result line.
 //
 // The database file survives restarts: `encode` once, `query` many
 // times. Queries run on whatever access paths exist — freshly loaded
@@ -21,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,7 @@
 #include "framework/planner.h"
 #include "framework/runner.h"
 #include "join/element_set.h"
+#include "obs/metrics.h"
 #include "pbitree/binarize.h"
 #include "query/twig_query.h"
 #include "storage/catalog.h"
@@ -111,7 +115,7 @@ int CmdList(const std::string& db_path) {
 }
 
 int CmdQuery(const std::string& db_path, const std::string& query_text,
-             size_t threads) {
+             size_t threads, bool metrics) {
   auto parsed = ParseTwigQuery(query_text);
   if (!parsed.ok()) return Fail(parsed.status());
 
@@ -134,6 +138,16 @@ int CmdQuery(const std::string& db_path, const std::string& query_text,
     return catalog->Get(&bm, tag);
   };
 
+  // With --metrics, install a query-level registry scope: every join
+  // the evaluation runs bills into it (RunJoin reuses an ambient
+  // registry), so the report covers the whole query pipeline.
+  std::optional<obs::MetricRegistry> registry;
+  std::optional<obs::MetricScope> scope;
+  if (metrics) {
+    registry.emplace();
+    scope.emplace(&registry.value());
+  }
+
   Timer timer;
   TwigQueryStats stats;
   auto result = EvaluateTwigQuery(&bm, provider, spec, *parsed, opts, &stats);
@@ -143,6 +157,9 @@ int CmdQuery(const std::string& db_path, const std::string& query_text,
               timer.ElapsedMillis(),
               static_cast<unsigned long long>(stats.joins),
               static_cast<unsigned long long>(stats.semijoins));
+  if (metrics) {
+    std::printf("%s\n", registry->Snapshot().ToJson().c_str());
+  }
   result->file.Drop(&bm);
   return 0;
 }
@@ -150,14 +167,20 @@ int CmdQuery(const std::string& db_path, const std::string& query_text,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract `--threads N` from anywhere on the command line.
+  // Extract `--threads N` / `--metrics` from anywhere on the command
+  // line.
   size_t threads = 1;
+  bool metrics = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (i + 1 < argc && std::strcmp(argv[i], "--threads") == 0) {
       long n = std::atol(argv[i + 1]);
       threads = n < 1 ? 1 : static_cast<size_t>(n);
       ++i;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
       continue;
     }
     args.push_back(argv[i]);
@@ -171,13 +194,13 @@ int main(int argc, char** argv) {
     return CmdList(args[2]);
   }
   if (n >= 4 && std::strcmp(args[1], "query") == 0) {
-    return CmdQuery(args[2], args[3], threads);
+    return CmdQuery(args[2], args[3], threads, metrics);
   }
   std::fprintf(stderr,
                "usage:\n"
                "  %s encode <doc.xml> <db>\n"
                "  %s list <db>\n"
-               "  %s query [--threads N] <db> '//a[//p]//b//c'\n",
+               "  %s query [--threads N] [--metrics] <db> '//a[//p]//b//c'\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }
