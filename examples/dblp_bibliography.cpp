@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     if (!d_index.ok()) return 1;
 
     RunOptions idx_opts = opts;
-    idx_opts.d_code_index = &d_index.value();
+    idx_opts.paths.d_code_index = &d_index.value();
     CountingSink s2;
     auto idx_run = RunJoin(Algorithm::kInljn, &bm, *a, *d, &s2, idx_opts);
     if (!idx_run.ok()) return 1;

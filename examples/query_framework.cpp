@@ -100,8 +100,8 @@ int main() {
   if (!d_code_index.ok() || !a_interval.ok()) return 1;
   {
     RunOptions opts = base;
-    opts.d_code_index = &d_code_index.value();
-    opts.a_interval_index = &a_interval.value();
+    opts.paths.d_code_index = &d_code_index.value();
+    opts.paths.a_interval_index = &a_interval.value();
     CountingSink sink;
     auto run = RunAuto(&bm, a, d, &sink, opts);
     if (!run.ok()) return 1;
@@ -114,8 +114,8 @@ int main() {
   if (!a_start_index.ok() || !d_start_index.ok()) return 1;
   {
     RunOptions opts = base;
-    opts.a_start_index = &a_start_index.value();
-    opts.d_start_index = &d_start_index.value();
+    opts.paths.a_start_index = &a_start_index.value();
+    opts.paths.d_start_index = &d_start_index.value();
     CountingSink sink;
     auto run = RunAuto(&bm, sa, sd, &sink, opts);
     if (!run.ok()) return 1;

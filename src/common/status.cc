@@ -24,6 +24,10 @@ const char* CodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kRetryExhausted:
+      return "RetryExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kOutOfRange,
   kNotSupported,
   kInternal,
+  kRetryExhausted,  // a transient I/O fault persisted past the retry budget
+  kCancelled,       // cooperative cancellation (a sibling partition failed)
 };
 
 /// \brief Lightweight status object carrying an error code and message.
@@ -59,8 +61,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status RetryExhausted(std::string msg) {
+    return Status(StatusCode::kRetryExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
@@ -74,15 +83,19 @@ class Status {
 
 /// \brief A value-or-error holder; the moral equivalent of
 /// absl::StatusOr<T> without the dependency.
+///
+/// `StatusOr` is the canonical name; `Result` remains as a deprecated
+/// alias for one release so out-of-tree callers keep compiling.
 template <typename T>
-class Result {
+class StatusOr {
  public:
-  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  Result(Status status) : status_(std::move(status)) {      // NOLINT(runtime/explicit)
-    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
   }
 
   bool ok() const { return status_.ok(); }
+  bool has_value() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
@@ -98,6 +111,12 @@ class Result {
     return *std::move(value_);
   }
 
+  /// Returns the held value, or `fallback` on error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
   const T* operator->() const { return &value(); }
@@ -107,6 +126,10 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Deprecated spelling of StatusOr<T>; prefer StatusOr in new code.
+template <typename T>
+using Result = StatusOr<T>;
 
 /// Propagates a non-OK status to the caller.
 #define PBITREE_RETURN_IF_ERROR(expr)            \

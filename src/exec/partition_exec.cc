@@ -23,7 +23,11 @@ Status ParallelPartitions(JoinContext* ctx, ResultSink* sink, size_t n,
   // budget slices. Each worker context's stats merge back afterwards.
   std::vector<JoinContext> worker_ctxs;
   worker_ctxs.reserve(n);
-  for (size_t i = 0; i < n; ++i) worker_ctxs.emplace_back(ctx->bm, slice);
+  std::atomic<bool> cancel{false};
+  for (size_t i = 0; i < n; ++i) {
+    worker_ctxs.emplace_back(ctx->bm, slice);
+    worker_ctxs.back().cancel = &cancel;
+  }
   // Each local sink buffers at most its worker's budget slice worth of
   // pairs in memory and spills the rest to a temp heap file, so join
   // output larger than the budget cannot blow up the heap.
@@ -34,13 +38,25 @@ Status ParallelPartitions(JoinContext* ctx, ResultSink* sink, size_t n,
   std::vector<Status> statuses(n);
 
   exec->pool()->ParallelFor(n, [&](size_t i) {
+    if (cancel.load(std::memory_order_relaxed)) {
+      statuses[i] = Status::Cancelled("sibling partition failed");
+      return;
+    }
     statuses[i] = task(i, &worker_ctxs[i], &local_sinks[i]);
+    if (!statuses[i].ok() && !statuses[i].IsCancelled()) {
+      cancel.store(true, std::memory_order_relaxed);
+    }
   });
 
+  // Fan-in: a real error beats kCancelled — the cancellations are
+  // collateral of the first failure, not the story to tell the caller.
   Status result = Status::OK();
   for (size_t i = 0; i < n; ++i) {
     ctx->stats.Merge(worker_ctxs[i].stats);
-    if (result.ok() && !statuses[i].ok()) result = statuses[i];
+    if (!statuses[i].ok() &&
+        (result.ok() || (result.IsCancelled() && !statuses[i].IsCancelled()))) {
+      result = statuses[i];
+    }
   }
   if (!result.ok()) return result;
   obs::ObsSpan replay_span(obs::Phase::kReplay);

@@ -18,7 +18,7 @@ namespace {
 
 /// Sorted-by-Start copy of a set; the temp file must be dropped by the
 /// caller. Sort time is charged to stats->sort_seconds.
-Result<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
+StatusOr<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
                               size_t work_pages, ExecContext* exec,
                               JoinStats* stats) {
   Timer t;
@@ -34,7 +34,7 @@ Result<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
 
 /// Builds a B+-tree over `in` keyed by `kind`, sorting a temporary copy
 /// first (bulk load needs key order). Charged to index_build_seconds.
-Result<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
+StatusOr<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
                                   KeyKind kind, size_t work_pages,
                                   ExecContext* exec, JoinStats* stats) {
   Timer t;
@@ -50,7 +50,7 @@ Result<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
   return built;
 }
 
-Result<IntervalIndex> BuildIntervalIndexOnTheFly(BufferManager* bm,
+StatusOr<IntervalIndex> BuildIntervalIndexOnTheFly(BufferManager* bm,
                                                  const ElementSet& in,
                                                  size_t work_pages,
                                                  ExecContext* exec,
@@ -112,8 +112,8 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
 
     case Algorithm::kInljn: {
       InljnIndexes idx;
-      idx.d_code_index = options.d_code_index;
-      idx.a_interval_index = options.a_interval_index;
+      idx.d_code_index = options.paths.d_code_index;
+      idx.a_interval_index = options.paths.a_interval_index;
       if (idx.d_code_index != nullptr || idx.a_interval_index != nullptr) {
         return Inljn(ctx, a, d, idx, sink);
       }
@@ -143,8 +143,8 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
     }
 
     case Algorithm::kAdb: {
-      const BPTree* a_idx = options.a_start_index;
-      const BPTree* d_idx = options.d_start_index;
+      const BPTree* a_idx = options.paths.a_start_index;
+      const BPTree* d_idx = options.paths.d_start_index;
       std::optional<BPTree> tmp_a, tmp_d;
       if (a_idx == nullptr) {
         PBITREE_ASSIGN_OR_RETURN(
@@ -179,7 +179,7 @@ Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
 
 }  // namespace
 
-Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
+StatusOr<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
                           const ElementSet& a, const ElementSet& d,
                           ResultSink* sink, const RunOptions& options) {
   if (options.work_pages < 3) {
@@ -259,7 +259,7 @@ const RunResult& MinRgnResult::best() const {
   return *b;
 }
 
-Result<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
+StatusOr<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
                                const ElementSet& d, const RunOptions& options) {
   MinRgnResult out;
   {
@@ -280,18 +280,18 @@ Result<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
   return out;
 }
 
-Result<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
+StatusOr<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
                           const ElementSet& d, ResultSink* sink,
                           const RunOptions& options) {
   InputProperties pa, pd;
   pa.sorted = a.sorted_by_start;
   pd.sorted = d.sorted_by_start;
-  pa.indexed = options.a_interval_index != nullptr ||
-               options.a_start_index != nullptr;
-  pd.indexed = options.d_code_index != nullptr ||
-               options.d_start_index != nullptr;
+  pa.indexed = options.paths.a_interval_index != nullptr ||
+               options.paths.a_start_index != nullptr;
+  pd.indexed = options.paths.d_code_index != nullptr ||
+               options.paths.d_start_index != nullptr;
   // ADB+ needs Start-keyed trees specifically.
-  if (options.a_start_index == nullptr || options.d_start_index == nullptr) {
+  if (options.paths.a_start_index == nullptr || options.paths.d_start_index == nullptr) {
     if (pa.indexed && pd.indexed && (pa.sorted && pd.sorted)) {
       // Fall back from ADB+ to INLJN when only the INLJN-style indexes
       // exist.

@@ -17,6 +17,26 @@
 
 namespace pbitree {
 
+/// \brief Pre-existing access paths a run may use, grouped so call
+/// sites pass one value instead of four loose pointers.
+///
+/// All pointers are borrowed (caller keeps ownership and must keep the
+/// indexes alive for the duration of the run); null means "absent".
+/// When an algorithm needs a path that is missing, the runner builds it
+/// on the fly (the "naive" mode whose cost the experiments charge to
+/// the region-based algorithms) and records the build time.
+struct AccessPaths {
+  const BPTree* d_code_index = nullptr;         // INLJN probe index on D
+  const IntervalIndex* a_interval_index = nullptr;  // ADB+ interval index on A
+  const BPTree* a_start_index = nullptr;        // Start-order index on A
+  const BPTree* d_start_index = nullptr;        // Start-order index on D
+
+  bool any() const {
+    return d_code_index != nullptr || a_interval_index != nullptr ||
+           a_start_index != nullptr || d_start_index != nullptr;
+  }
+};
+
 /// \brief Configuration for one measured join execution.
 struct RunOptions {
   /// The paper's b: buffer pages the algorithm may use for working
@@ -44,14 +64,9 @@ struct RunOptions {
   /// previous run left behind. Benchmarks enable this.
   bool cold_cache = false;
 
-  /// Pre-existing access paths. When the algorithm needs one that is
-  /// missing, the runner builds it on the fly (the "naive" mode whose
-  /// cost the experiments charge to the region-based algorithms) and
-  /// records the build time in the stats.
-  const BPTree* d_code_index = nullptr;
-  const IntervalIndex* a_interval_index = nullptr;
-  const BPTree* a_start_index = nullptr;
-  const BPTree* d_start_index = nullptr;
+  /// Pre-existing access paths (see AccessPaths); missing ones are
+  /// built on the fly and their build time recorded in the stats.
+  AccessPaths paths;
 
   RollupHeightPolicy rollup_policy = RollupHeightPolicy::kMax;
   VpjOptions vpj;
@@ -88,7 +103,7 @@ struct RunResult {
 /// registry scope installed (a query pipeline accumulating several
 /// joins), the run bills into it and `result.metrics` is the delta this
 /// run contributed.
-Result<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
+StatusOr<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
                           const ElementSet& a, const ElementSet& d,
                           ResultSink* sink, const RunOptions& options);
 
@@ -102,12 +117,12 @@ struct MinRgnResult {
   const RunResult& best() const;
 };
 
-Result<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
+StatusOr<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
                                const ElementSet& d, const RunOptions& options);
 
 /// Framework entry point: picks the algorithm per Table 1 from the sets'
 /// metadata and the indexes present in `options`, then runs it.
-Result<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
+StatusOr<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
                           const ElementSet& d, ResultSink* sink,
                           const RunOptions& options);
 

@@ -22,7 +22,7 @@ std::vector<int> ElementSet::Heights() const {
   return hs;
 }
 
-Result<ElementSetBuilder> ElementSetBuilder::Create(BufferManager* bm,
+StatusOr<ElementSetBuilder> ElementSetBuilder::Create(BufferManager* bm,
                                                     PBiTreeSpec spec) {
   PBITREE_RETURN_IF_ERROR(ValidateSpec(spec));
   ElementSetBuilder b;
@@ -46,7 +46,7 @@ Status ElementSetBuilder::Add(const ElementRecord& rec) {
 
 ElementSet ElementSetBuilder::Build() { return set_; }
 
-Result<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
+StatusOr<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
                                  PBiTreeSpec spec, TagId tag, uint32_t doc) {
   PBITREE_ASSIGN_OR_RETURN(ElementSetBuilder builder,
                            ElementSetBuilder::Create(bm, spec));
@@ -62,7 +62,7 @@ Result<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
   return builder.Build();
 }
 
-Result<ElementSet> ExtractTagSetByName(BufferManager* bm, const DataTree& tree,
+StatusOr<ElementSet> ExtractTagSetByName(BufferManager* bm, const DataTree& tree,
                                        PBiTreeSpec spec,
                                        std::string_view tag_name,
                                        uint32_t doc) {

@@ -51,7 +51,7 @@ struct ElementSet {
 class ElementSetBuilder {
  public:
   /// Creates an empty set on `bm` belonging to PBiTree `spec`.
-  static Result<ElementSetBuilder> Create(BufferManager* bm, PBiTreeSpec spec);
+  static StatusOr<ElementSetBuilder> Create(BufferManager* bm, PBiTreeSpec spec);
 
   Status Add(const ElementRecord& rec);
   Status AddCode(Code code, uint32_t tag = 0, uint32_t doc = 0) {
@@ -70,11 +70,11 @@ class ElementSetBuilder {
 
 /// Extracts the elements of `tree` with tag `tag` (in document order)
 /// into an ElementSet. The tree must have been binarized with `spec`.
-Result<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
+StatusOr<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
                                  PBiTreeSpec spec, TagId tag, uint32_t doc = 0);
 
 /// Convenience: extract by tag name; NotFound if the tag never occurs.
-Result<ElementSet> ExtractTagSetByName(BufferManager* bm, const DataTree& tree,
+StatusOr<ElementSet> ExtractTagSetByName(BufferManager* bm, const DataTree& tree,
                                        PBiTreeSpec spec,
                                        std::string_view tag_name,
                                        uint32_t doc = 0);

@@ -98,6 +98,9 @@ Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
   Status st;
   bool more = true;
   while (more) {
+    if (ctx->ShouldCancel()) {
+      return Status::Cancelled("block nested-loop join: sibling failed");
+    }
     std::unordered_multimap<uint64_t, Code> table;
     uint64_t n = 0;
     ElementRecord rec;
@@ -123,7 +126,23 @@ Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
   return Status::OK();
 }
 
-/// Hash-partitions `input` on the rolled key into `k` files.
+/// Drops every valid partition file in `parts`, keeping `keep` (the
+/// first error seen, or OK) as the status to report.
+Status DropParts(BufferManager* bm, std::vector<HeapFile>* parts,
+                 Status keep = Status::OK()) {
+  for (HeapFile& f : *parts) {
+    if (f.valid()) {
+      Status s = f.Drop(bm);
+      if (keep.ok()) keep = s;
+    }
+  }
+  parts->clear();
+  return keep;
+}
+
+/// Hash-partitions `input` on the rolled key into `k` files. On error
+/// the partial partitions are dropped before returning, so the caller
+/// never inherits half-written temp files.
 Status PartitionFile(JoinContext* ctx, const HeapFile& input, int h, size_t k,
                      int salt, std::vector<HeapFile>* parts) {
   obs::ObsSpan partition_span(obs::Phase::kPartition);
@@ -136,17 +155,31 @@ Status PartitionFile(JoinContext* ctx, const HeapFile& input, int h, size_t k,
   while (scan.NextElement(&rec, &st)) {
     size_t p = HashKey(RolledKey(rec.code, h), salt) % k;
     if (apps[p] == nullptr) {
-      PBITREE_ASSIGN_OR_RETURN((*parts)[p], HeapFile::Create(ctx->bm));
+      auto created = HeapFile::Create(ctx->bm);
+      if (!created.ok()) {
+        st = created.status();
+        break;
+      }
+      (*parts)[p] = std::move(*created);
       apps[p] = std::make_unique<HeapFile::Appender>(ctx->bm, &(*parts)[p]);
     }
-    PBITREE_RETURN_IF_ERROR(apps[p]->AppendElement(rec));
+    st = apps[p]->AppendElement(rec);
+    if (!st.ok()) break;
   }
-  return st;
+  if (!st.ok()) {
+    // Appenders must release their pins before the files can be dropped.
+    apps.clear();
+    return DropParts(ctx->bm, parts, st);
+  }
+  return Status::OK();
 }
 
 Status HashJoinRecursive(JoinContext* ctx, const HeapFile& a_file,
                          const HeapFile& d_file, int h, EquiMode mode,
                          ResultSink* sink, int depth) {
+  if (ctx->ShouldCancel()) {
+    return Status::Cancelled("hash equijoin: sibling partition failed");
+  }
   if (a_file.num_records() == 0 || d_file.num_records() == 0) {
     return Status::OK();
   }
@@ -192,11 +225,16 @@ Status HashJoinRecursive(JoinContext* ctx, const HeapFile& a_file,
         [&] { a_st = PartitionFile(ctx, a_file, h, k, depth, &a_parts); });
     Status d_st = PartitionFile(ctx, d_file, h, k, depth, &d_parts);
     pool->Wait(f);
-    PBITREE_RETURN_IF_ERROR(a_st);
-    PBITREE_RETURN_IF_ERROR(d_st);
+    if (!a_st.ok() || !d_st.ok()) {
+      // The failed side dropped its own partials; drop the survivor's.
+      DropParts(ctx->bm, &a_parts);
+      DropParts(ctx->bm, &d_parts);
+      return a_st.ok() ? d_st : a_st;
+    }
   } else {
     PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, a_file, h, k, depth, &a_parts));
-    PBITREE_RETURN_IF_ERROR(PartitionFile(ctx, d_file, h, k, depth, &d_parts));
+    Status d_st = PartitionFile(ctx, d_file, h, k, depth, &d_parts);
+    if (!d_st.ok()) return DropParts(ctx->bm, &a_parts, d_st);
   }
   ctx->stats.partitions += k;
 
@@ -204,7 +242,7 @@ Status HashJoinRecursive(JoinContext* ctx, const HeapFile& a_file,
     // Each Grace partition pair is independent: join pair i on its own
     // worker with a budget slice and a thread-local sink, dropping the
     // partition files inside the task.
-    return ParallelPartitions(
+    Status st = ParallelPartitions(
         ctx, sink, k,
         [&](size_t i, JoinContext* worker, ResultSink* local_sink) -> Status {
           Status r = Status::OK();
@@ -222,6 +260,12 @@ Status HashJoinRecursive(JoinContext* ctx, const HeapFile& a_file,
           }
           return r;
         });
+    if (!st.ok()) {
+      // Cancelled workers never ran their drop; sweep the leftovers.
+      DropParts(ctx->bm, &a_parts);
+      DropParts(ctx->bm, &d_parts);
+    }
+    return st;
   }
 
   Status result = Status::OK();

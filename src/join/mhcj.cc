@@ -37,6 +37,16 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
     for (size_t i = base; i < end; ++i) slot_of[heights[i]] = static_cast<int>(i - base);
 
     std::vector<HeapFile> parts(end - base);
+    // Any exit below an error must drop whatever partitions still hold
+    // pages — temp heap files are the storage this operator leases.
+    auto drop_remaining = [&](Status keep) {
+      for (HeapFile& part : parts) {
+        if (!part.valid()) continue;
+        Status s = part.Drop(ctx->bm);
+        if (keep.ok()) keep = s;
+      }
+      return keep;
+    };
     {
       obs::ObsSpan partition_span(obs::Phase::kPartition);
       std::vector<std::unique_ptr<HeapFile::Appender>> apps(end - base);
@@ -47,17 +57,26 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
         int slot = slot_of[HeightOf(rec.code)];
         if (slot < 0) continue;  // height handled by another batch
         if (apps[slot] == nullptr) {
-          PBITREE_ASSIGN_OR_RETURN(parts[slot], HeapFile::Create(ctx->bm));
+          auto created = HeapFile::Create(ctx->bm);
+          if (!created.ok()) {
+            st = created.status();
+            break;
+          }
+          parts[slot] = std::move(*created);
           apps[slot] = std::make_unique<HeapFile::Appender>(ctx->bm, &parts[slot]);
         }
-        PBITREE_RETURN_IF_ERROR(apps[slot]->AppendElement(rec));
+        st = apps[slot]->AppendElement(rec);
+        if (!st.ok()) break;
       }
-      PBITREE_RETURN_IF_ERROR(st);
+      if (!st.ok()) {
+        apps.clear();  // release appender pins before dropping
+        return drop_remaining(st);
+      }
     }
     if (ShouldParallelize(ctx, end - base)) {
       // Every height partition joins against D independently — one
       // worker per height, concurrent scans of the shared D file.
-      PBITREE_RETURN_IF_ERROR(ParallelPartitions(
+      Status st = ParallelPartitions(
           ctx, sink, end - base,
           [&](size_t i, JoinContext* worker, ResultSink* local_sink) -> Status {
             HeapFile& part = parts[i];
@@ -67,7 +86,9 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
             Status drop = part.Drop(worker->bm);
             PBITREE_RETURN_IF_ERROR(st);
             return drop;
-          }));
+          });
+      // Cancelled workers never ran their drop; sweep the leftovers.
+      if (!st.ok()) return drop_remaining(st);
       continue;
     }
     for (size_t i = base; i < end; ++i) {
@@ -75,8 +96,8 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
       if (!part.valid()) continue;
       Status st = HashEquijoinAtHeight(ctx, part, d.file, heights[i], sink);
       Status drop = part.Drop(ctx->bm);
-      PBITREE_RETURN_IF_ERROR(st);
-      PBITREE_RETURN_IF_ERROR(drop);
+      if (st.ok()) st = drop;
+      if (!st.ok()) return drop_remaining(st);
     }
   }
   return Status::OK();

@@ -30,8 +30,21 @@ Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
 
   ElementSet low, high;
   low.spec = high.spec = a.spec;
+  // Both split files must be dropped on every exit below, error or not.
+  auto drop_both = [&](Status keep) {
+    for (ElementSet* s : {&low, &high}) {
+      if (!s->file.valid()) continue;
+      Status ds = s->file.Drop(ctx->bm);
+      if (keep.ok()) keep = ds;
+    }
+    return keep;
+  };
   PBITREE_ASSIGN_OR_RETURN(low.file, HeapFile::Create(ctx->bm));
-  PBITREE_ASSIGN_OR_RETURN(high.file, HeapFile::Create(ctx->bm));
+  {
+    auto created = HeapFile::Create(ctx->bm);
+    if (!created.ok()) return drop_both(created.status());
+    high.file = std::move(*created);
+  }
   {
     HeapFile::Appender low_app(ctx->bm, &low.file);
     HeapFile::Appender high_app(ctx->bm, &high.file);
@@ -42,13 +55,18 @@ Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
       int h = HeightOf(rec.code);
       if (h <= h_med) {
         low.height_mask |= uint64_t{1} << h;
-        PBITREE_RETURN_IF_ERROR(low_app.AppendElement(rec));
+        st = low_app.AppendElement(rec);
       } else {
         high.height_mask |= uint64_t{1} << h;
-        PBITREE_RETURN_IF_ERROR(high_app.AppendElement(rec));
+        st = high_app.AppendElement(rec);
       }
+      if (!st.ok()) break;
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    if (!st.ok()) {
+      low_app.Finish();  // release tail-page pins before dropping
+      high_app.Finish();
+      return drop_both(st);
+    }
   }
 
   Status st = Status::OK();
@@ -58,11 +76,7 @@ Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
   if (st.ok() && high.num_records() > 0) {
     st = Mhcj(ctx, high, d, sink);
   }
-  Status drop_low = low.file.Drop(ctx->bm);
-  Status drop_high = high.file.Drop(ctx->bm);
-  PBITREE_RETURN_IF_ERROR(st);
-  PBITREE_RETURN_IF_ERROR(drop_low);
-  return drop_high;
+  return drop_both(st);
 }
 
 }  // namespace pbitree

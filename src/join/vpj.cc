@@ -92,6 +92,9 @@ struct VpjRunner {
 
   Status Run(const HeapFile& a_file, const HeapFile& d_file, uint64_t a_mask,
              uint64_t range_lo, uint64_t range_hi, int depth) {
+    if (ctx->ShouldCancel()) {
+      return Status::Cancelled("VPJ: sibling partition failed");
+    }
     if (a_file.num_records() == 0 || d_file.num_records() == 0) {
       return Status::OK();
     }
@@ -169,6 +172,25 @@ struct VpjRunner {
     std::unordered_map<uint64_t, size_t> index;  // alpha -> parts slot
     std::vector<std::unique_ptr<HeapFile::Appender>> a_apps, d_apps;
 
+    // Error-path sweeper: drops every partition file that still holds
+    // pages. Safe to run over moved-from handles (their page directory
+    // is empty, so Drop is a no-op).
+    auto drop_partitions = [&](std::vector<Partition>* extra,
+                               Status keep) -> Status {
+      auto drop_one = [&](Partition& p) {
+        for (HeapFile* f : {&p.a, &p.d}) {
+          if (!f->valid()) continue;
+          Status s = f->Drop(ctx->bm);
+          if (keep.ok()) keep = s;
+        }
+      };
+      for (Partition& p : parts) drop_one(p);
+      if (extra != nullptr) {
+        for (Partition& p : *extra) drop_one(p);
+      }
+      return keep;
+    };
+
     auto slot_for = [&](uint64_t alpha) -> size_t {
       auto it = index.find(alpha);
       if (it != index.end()) return it->second;
@@ -182,6 +204,7 @@ struct VpjRunner {
 
     {
       obs::ObsSpan partition_span(obs::Phase::kPartition);
+      Status st = [&]() -> Status {
       HeapFile::Scanner scan(ctx->bm, a_file);
       ElementRecord rec;
       Status st;
@@ -216,11 +239,14 @@ struct VpjRunner {
         }
         if (hi > lo) ctx->stats.replicated_nodes += hi - lo;
       }
-      PBITREE_RETURN_IF_ERROR(st);
+      return st;
+      }();
       a_apps.clear();  // unpin A tails before the D pass
+      if (!st.ok()) return drop_partitions(nullptr, st);
     }
     {
       obs::ObsSpan partition_span(obs::Phase::kPartition);
+      Status st = [&]() -> Status {
       HeapFile::Scanner scan(ctx->bm, d_file);
       ElementRecord rec;
       Status st;
@@ -244,8 +270,10 @@ struct VpjRunner {
         }
         PBITREE_RETURN_IF_ERROR(d_apps[s]->AppendElement(rec));
       }
-      PBITREE_RETURN_IF_ERROR(st);
+      return st;
+      }();
       d_apps.clear();
+      if (!st.ok()) return drop_partitions(nullptr, st);
     }
     ctx->stats.partitions += parts.size();
 
@@ -256,8 +284,10 @@ struct VpjRunner {
       bool empty_d = !p.d.valid() || p.d.num_records() == 0;
       if (opts.enable_purging ? (empty_a || empty_d) : (empty_a && empty_d)) {
         ++ctx->stats.purged_partitions;
-        if (p.a.valid()) PBITREE_RETURN_IF_ERROR(p.a.Drop(ctx->bm));
-        if (p.d.valid()) PBITREE_RETURN_IF_ERROR(p.d.Drop(ctx->bm));
+        Status st = Status::OK();
+        if (p.a.valid()) st = p.a.Drop(ctx->bm);
+        if (st.ok() && p.d.valid()) st = p.d.Drop(ctx->bm);
+        if (!st.ok()) return drop_partitions(&live, st);
         continue;
       }
       live.push_back(std::move(p));
@@ -278,19 +308,24 @@ struct VpjRunner {
             (merged.back().d.num_pages() + p.d.num_pages()) <= ctx->work_pages;
         if (can_merge) {
           Partition& tgt = merged.back();
+          Status st = Status::OK();
           if (p.a.valid()) {
             if (tgt.a.valid()) {
-              PBITREE_RETURN_IF_ERROR(tgt.a.Concat(ctx->bm, &p.a));
+              st = tgt.a.Concat(ctx->bm, &p.a);
             } else {
               tgt.a = std::move(p.a);
             }
           }
-          if (p.d.valid()) {
+          if (st.ok() && p.d.valid()) {
             if (tgt.d.valid()) {
-              PBITREE_RETURN_IF_ERROR(tgt.d.Concat(ctx->bm, &p.d));
+              st = tgt.d.Concat(ctx->bm, &p.d);
             } else {
               tgt.d = std::move(p.d);
             }
+          }
+          if (!st.ok()) {
+            Status keep = drop_partitions(&merged, st);
+            return drop_partitions(&live, keep);
           }
           tgt.a_mask |= p.a_mask;
           tgt.min_start = std::min(tgt.min_start, p.min_start);
@@ -309,7 +344,7 @@ struct VpjRunner {
       // descendant routed to exactly one, ancestors replicated): join
       // each on its own worker. A pair still too big for the worker's
       // budget slice recurses inside the task with a child runner.
-      return ParallelPartitions(
+      Status st = ParallelPartitions(
           ctx, sink, live.size(),
           [&](size_t i, JoinContext* worker, ResultSink* local_sink) -> Status {
             Partition& p = live[i];
@@ -333,6 +368,9 @@ struct VpjRunner {
             }
             return r;
           });
+      // Cancelled workers never ran their drop; sweep the leftovers.
+      if (!st.ok()) return drop_partitions(&live, st);
+      return Status::OK();
     }
     Status result = Status::OK();
     for (Partition& p : live) {

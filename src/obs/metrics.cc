@@ -35,6 +35,9 @@ const char* CounterName(Counter c) {
     case Counter::kJoinMergedPartitions: return "join_merged_partitions";
     case Counter::kJoinReplicatedNodes: return "join_replicated_nodes";
     case Counter::kJoinIndexProbes: return "join_index_probes";
+    case Counter::kIoRetries: return "io_retries";
+    case Counter::kIoChecksumFailures: return "io_checksum_failures";
+    case Counter::kIoFaultsInjected: return "io_faults_injected";
   }
   return "unknown_counter";
 }

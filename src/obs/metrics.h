@@ -63,9 +63,14 @@ enum class Counter : uint32_t {
   kJoinMergedPartitions,
   kJoinReplicatedNodes,
   kJoinIndexProbes,
+
+  // Storage fault-tolerance layer (see storage/io_backend.h).
+  kIoRetries,           // extra backend attempts beyond the first
+  kIoChecksumFailures,  // page reads rejected by CRC32C verification
+  kIoFaultsInjected,    // faults a FaultInjectingBackend delivered
 };
 inline constexpr size_t kNumCounters =
-    static_cast<size_t>(Counter::kJoinIndexProbes) + 1;
+    static_cast<size_t>(Counter::kIoFaultsInjected) + 1;
 
 /// High-water marks, merged by max across shards and over time.
 enum class Gauge : uint32_t {

@@ -31,11 +31,17 @@ Status SortAndWriteRun(BufferManager* bm, std::vector<ElementRecord>* buf,
               return ElementLess(a, b, order);
             });
   PBITREE_ASSIGN_OR_RETURN(HeapFile run, HeapFile::Create(bm));
+  Status st;
   {
     HeapFile::Appender app(bm, &run);
     for (const ElementRecord& r : *buf) {
-      PBITREE_RETURN_IF_ERROR(app.AppendElement(r));
+      st = app.AppendElement(r);
+      if (!st.ok()) break;
     }
+  }
+  if (!st.ok()) {
+    run.Drop(bm);  // best effort: the append error is the one to report
+    return st;
   }
   *out = run;
   return Status::OK();
@@ -94,8 +100,9 @@ Status GenerateRuns(BufferManager* bm, const HeapFile& input,
     while (buf->size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
       buf->push_back(rec);
     }
-    PBITREE_RETURN_IF_ERROR(st);
-    if (buf->empty()) break;
+    // On a scan error fall through to the Wait below — returning here
+    // would destroy the deques while in-flight tasks still write them.
+    if (!st.ok() || buf->empty()) break;
     chunk_runs.emplace_back();
     chunk_status.emplace_back();
     HeapFile* out = &chunk_runs.back();
@@ -110,9 +117,11 @@ Status GenerateRuns(BufferManager* bm, const HeapFile& input,
   }
   for (std::future<void>& f : inflight) pool->Wait(f);
 
-  Status result = Status::OK();
+  Status result = st;
   for (size_t i = 0; i < chunk_runs.size(); ++i) {
     if (!chunk_status[i].ok() && result.ok()) result = chunk_status[i];
+    // Completed runs are handed to the caller even on error, so its
+    // cleanup path can drop them.
     if (chunk_runs[i].valid()) runs->push_back(chunk_runs[i]);
   }
   return result;
@@ -128,13 +137,25 @@ Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
   std::vector<Cursor> cursors;
   cursors.reserve(inputs->size());
   Status st;
+  // Contract: the inputs are consumed whatever happens — on error they
+  // are dropped here so the caller never holds dangling temp files.
+  auto fail = [&](Status keep) -> Status {
+    for (Cursor& c : cursors) c.scan.reset();  // release scan pins
+    for (HeapFile& f : *inputs) {
+      if (!f.valid()) continue;
+      Status s = f.Drop(bm);
+      if (keep.ok()) keep = s;
+    }
+    inputs->clear();
+    return keep;
+  };
   for (HeapFile& f : *inputs) {
     Cursor c;
     c.scan = std::make_unique<HeapFile::Scanner>(bm, f);
     if (c.scan->NextElement(&c.rec, &st)) {
       cursors.push_back(std::move(c));
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    if (!st.ok()) return fail(st);
   }
 
   auto greater = [order, &cursors](size_t a, size_t b) {
@@ -144,24 +165,38 @@ Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
   std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
   for (size_t i = 0; i < cursors.size(); ++i) heap.push(i);
 
-  PBITREE_ASSIGN_OR_RETURN(HeapFile out, HeapFile::Create(bm));
+  auto created = HeapFile::Create(bm);
+  if (!created.ok()) return fail(created.status());
+  HeapFile out = std::move(*created);
   {
     HeapFile::Appender app(bm, &out);
     while (!heap.empty()) {
       size_t i = heap.top();
       heap.pop();
-      PBITREE_RETURN_IF_ERROR(app.AppendElement(cursors[i].rec));
+      st = app.AppendElement(cursors[i].rec);
+      if (!st.ok()) break;
       if (cursors[i].scan->NextElement(&cursors[i].rec, &st)) {
         heap.push(i);
       }
-      PBITREE_RETURN_IF_ERROR(st);
+      if (!st.ok()) break;
     }
   }
+  if (!st.ok()) {
+    Status keep = fail(st);
+    out.Drop(bm);  // the half-merged output too
+    return keep;
+  }
   for (Cursor& c : cursors) c.scan.reset();
+  Status drop_st;
   for (HeapFile& f : *inputs) {
-    PBITREE_RETURN_IF_ERROR(f.Drop(bm));
+    Status s = f.Drop(bm);
+    if (drop_st.ok()) drop_st = s;
   }
   inputs->clear();
+  if (!drop_st.ok()) {
+    out.Drop(bm);
+    return drop_st;
+  }
   return out;
 }
 
@@ -175,7 +210,17 @@ Result<HeapFile> ExternalSort(BufferManager* bm, const HeapFile& input,
   }
   obs::ObsSpan sort_span(obs::Phase::kSort);
   std::vector<HeapFile> runs;
-  PBITREE_RETURN_IF_ERROR(GenerateRuns(bm, input, work_pages, order, exec, &runs));
+  auto drop_runs = [bm](std::vector<HeapFile>* files, Status keep) {
+    for (HeapFile& f : *files) {
+      if (!f.valid()) continue;
+      Status s = f.Drop(bm);
+      if (keep.ok()) keep = s;
+    }
+    files->clear();
+    return keep;
+  };
+  Status gen_st = GenerateRuns(bm, input, work_pages, order, exec, &runs);
+  if (!gen_st.ok()) return drop_runs(&runs, gen_st);
   obs::Count(obs::Counter::kSortRuns, runs.size());
   if (runs.empty()) return HeapFile::Create(bm);
 
@@ -187,8 +232,15 @@ Result<HeapFile> ExternalSort(BufferManager* bm, const HeapFile& input,
     for (size_t i = 0; i < runs.size(); i += fan_in) {
       size_t end = std::min(runs.size(), i + fan_in);
       std::vector<HeapFile> group(runs.begin() + i, runs.begin() + end);
-      PBITREE_ASSIGN_OR_RETURN(HeapFile merged, MergeRuns(bm, &group, order));
-      next.push_back(merged);
+      auto merged = MergeRuns(bm, &group, order);
+      if (!merged.ok()) {
+        // MergeRuns dropped its own inputs (runs[i, end) via the group
+        // copies); sweep the not-yet-merged tail and the finished runs.
+        std::vector<HeapFile> rest(runs.begin() + end, runs.end());
+        Status keep = drop_runs(&rest, merged.status());
+        return drop_runs(&next, keep);
+      }
+      next.push_back(std::move(*merged));
     }
     runs = std::move(next);
   }

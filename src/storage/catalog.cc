@@ -23,7 +23,7 @@ T GetAt(const char* base, size_t off) {
 
 }  // namespace
 
-Result<Catalog> Catalog::Load(BufferManager* bm) {
+StatusOr<Catalog> Catalog::Load(BufferManager* bm) {
   Catalog cat;
   if (bm->disk()->frontier() == 0) return cat;  // nothing on disk yet
   PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));
@@ -87,7 +87,10 @@ Status Catalog::Save(BufferManager* bm) {
   PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));
   std::memcpy(p->data(), data, kPageSize);
   PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, /*dirty=*/true));
-  return bm->FlushPage(0);
+  PBITREE_RETURN_IF_ERROR(bm->FlushPage(0));
+  // Durability barrier: data pages and the header that points at them
+  // must both survive a crash from here on.
+  return bm->disk()->Sync();
 }
 
 Status Catalog::Put(const std::string& name, const ElementSet& set) {
@@ -113,7 +116,7 @@ Status Catalog::Put(const std::string& name, const ElementSet& set) {
   return Status::OK();
 }
 
-Result<ElementSet> Catalog::Get(BufferManager* bm,
+StatusOr<ElementSet> Catalog::Get(BufferManager* bm,
                                 const std::string& name) const {
   auto it = entries_.find(name);
   if (it == entries_.end()) {

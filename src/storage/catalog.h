@@ -32,7 +32,7 @@ class Catalog {
 
   /// Loads the catalog from page 0; a fresh database (zero/foreign
   /// magic) yields an empty catalog.
-  static Result<Catalog> Load(BufferManager* bm);
+  static StatusOr<Catalog> Load(BufferManager* bm);
 
   /// Writes the catalog and the current allocation frontier to page 0
   /// and flushes the pool — the database is reopenable afterwards.
@@ -43,7 +43,7 @@ class Catalog {
   Status Put(const std::string& name, const ElementSet& set);
 
   /// Reconstructs a named element set. NotFound if absent.
-  Result<ElementSet> Get(BufferManager* bm, const std::string& name) const;
+  StatusOr<ElementSet> Get(BufferManager* bm, const std::string& name) const;
 
   /// Removes an entry (the set's pages are not freed; drop them first
   /// if the data itself should go).

@@ -1,53 +1,68 @@
 #include "storage/disk_manager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
+#include <chrono>
+#include <thread>
 
-#include <cerrno>
-#include <cstring>
-
+#include "common/crc32c.h"
 #include "obs/metrics.h"
 
 namespace pbitree {
 
-DiskManager::DiskManager(std::string path, int fd, bool unlink_on_close)
-    : path_(std::move(path)), fd_(fd), unlink_on_close_(unlink_on_close) {
+namespace {
+
+/// Wraps `backend` in a FaultInjectingBackend when PBITREE_FAULT_SCHEDULE
+/// is set — every database opened by this process then runs against the
+/// same deterministic fault schedule (how CI exercises the whole test
+/// suite under transient faults).
+std::unique_ptr<IoBackend> MaybeInjectFaults(std::unique_ptr<IoBackend> backend) {
+  if (auto schedule = FaultSchedule::FromEnv()) {
+    return std::make_unique<FaultInjectingBackend>(std::move(backend),
+                                                   *schedule);
+  }
+  return backend;
+}
+
+}  // namespace
+
+DiskManager::DiskManager(std::unique_ptr<IoBackend> backend)
+    : backend_(std::move(backend)) {
   is_free_.resize(1, false);  // header page
 }
 
-Result<DiskManager*> DiskManager::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError("open(" + path + "): " + std::strerror(errno));
-  }
-  return new DiskManager(path, fd, /*unlink_on_close=*/true);
+StatusOr<DiskManager*> DiskManager::Open(const std::string& path) {
+  auto backend = FileIoBackend::Open(path, /*truncate=*/true,
+                                     /*unlink_on_close=*/true);
+  PBITREE_RETURN_IF_ERROR(backend.status());
+  return new DiskManager(MaybeInjectFaults(std::move(*backend)));
 }
 
-Result<DiskManager*> DiskManager::OpenExisting(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status::IOError("open(" + path + "): " + std::strerror(errno));
-  }
-  auto* dm = new DiskManager(path, fd, /*unlink_on_close=*/false);
-  // Make every existing page addressable; the catalog narrows this to
-  // the recorded frontier afterwards.
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size > 0) {
-    dm->SetFrontier(static_cast<PageId>((size + kPageSize - 1) / kPageSize));
-  }
-  return dm;
+StatusOr<DiskManager*> DiskManager::OpenExisting(const std::string& path) {
+  auto backend = FileIoBackend::Open(path, /*truncate=*/false,
+                                     /*unlink_on_close=*/false);
+  PBITREE_RETURN_IF_ERROR(backend.status());
+  return OpenWithBackend(std::move(*backend), /*restore_frontier=*/true);
 }
 
 DiskManager* DiskManager::OpenInMemory() {
-  return new DiskManager("", -1, true);
+  return new DiskManager(MaybeInjectFaults(std::make_unique<MemIoBackend>()));
 }
 
-DiskManager::~DiskManager() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    if (!path_.empty() && unlink_on_close_) ::unlink(path_.c_str());
+StatusOr<DiskManager*> DiskManager::OpenWithBackend(
+    std::unique_ptr<IoBackend> backend, bool restore_frontier) {
+  // Make every existing page addressable; the catalog narrows this to
+  // the recorded frontier afterwards.
+  PageId size = 0;
+  if (restore_frontier) {
+    auto pages = backend->SizeInPages();
+    PBITREE_RETURN_IF_ERROR(pages.status());
+    size = *pages;
   }
+  auto* dm = new DiskManager(MaybeInjectFaults(std::move(backend)));
+  if (size > 0) dm->SetFrontier(size);
+  return dm;
 }
+
+DiskManager::~DiskManager() = default;
 
 void DiskManager::SetFrontier(PageId frontier) {
   std::lock_guard<std::mutex> lk(alloc_mu_);
@@ -57,22 +72,36 @@ void DiskManager::SetFrontier(PageId frontier) {
   }
 }
 
-Result<PageId> DiskManager::AllocatePage() {
+StatusOr<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lk(alloc_mu_);
-  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
-  obs::Count(obs::Counter::kPagesAllocated);
+  PageId id;
+  bool reused = false;
   if (!free_list_.empty()) {
-    PageId id = free_list_.back();
+    id = free_list_.back();
     free_list_.pop_back();
     is_free_[id] = false;
-    return id;
+    reused = true;
+  } else {
+    id = next_page_id_.load(std::memory_order_relaxed);
+    if (id == kInvalidPageId) {
+      return Status::ResourceExhausted("page id space exhausted");
+    }
+    next_page_id_.store(id + 1, std::memory_order_release);
+    if (is_free_.size() <= id) is_free_.resize(id + 1, false);
   }
-  PageId id = next_page_id_.load(std::memory_order_relaxed);
-  if (id == kInvalidPageId) {
-    return Status::ResourceExhausted("page id space exhausted");
+  Status bs = backend_->Allocate(id);
+  if (!bs.ok()) {
+    // Roll back so a later attempt can hand out the same id.
+    if (reused) {
+      is_free_[id] = true;
+      free_list_.push_back(id);
+    } else {
+      next_page_id_.store(id, std::memory_order_release);
+    }
+    return bs;
   }
-  next_page_id_.store(id + 1, std::memory_order_release);
-  if (is_free_.size() <= id) is_free_.resize(id + 1, false);
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kPagesAllocated);
   return id;
 }
 
@@ -87,11 +116,40 @@ Status DiskManager::FreePage(PageId page_id) {
     return Status::InvalidArgument("FreePage: double free of page " +
                                    std::to_string(page_id));
   }
+  PBITREE_RETURN_IF_ERROR(backend_->Free(page_id));
   is_free_[page_id] = true;
   free_list_.push_back(page_id);
   stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Counter::kPagesFreed);
+  {
+    // A reused page id must not inherit the old occupant's checksum.
+    std::unique_lock<std::shared_mutex> lk2(crc_mu_);
+    page_crc_.erase(page_id);
+  }
   return Status::OK();
+}
+
+Status DiskManager::WithRetry(const char* what, PageId page_id,
+                              const std::function<Status()>& op) {
+  Status s;
+  uint32_t backoff_us = retry_.backoff_initial_us;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      obs::Count(obs::Counter::kIoRetries);
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us = std::min(backoff_us * 2, retry_.backoff_max_us);
+      }
+    }
+    s = op();
+    // Retry only transient-looking failures; kCorruption means the
+    // bytes arrived and are wrong — re-reading returns the same bytes.
+    if (s.ok() || s.code() != StatusCode::kIOError) return s;
+  }
+  return Status::RetryExhausted(std::string(what) + " of page " +
+                                std::to_string(page_id) + " failed after " +
+                                std::to_string(retry_.max_attempts) +
+                                " attempts: " + s.ToString());
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
@@ -99,32 +157,35 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
     return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
                               " beyond frontier");
   }
+  // Logical page reads count once per call regardless of retries, so
+  // I/O-count experiments are unchanged by the retry layer.
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Counter::kPageReads);
-  if (fd_ < 0) {
-    const size_t off = static_cast<size_t>(page_id) * kPageSize;
-    {
-      std::shared_lock<std::shared_mutex> lk(mem_mu_);
-      if (mem_.size() >= off + kPageSize) {
-        std::memcpy(out, mem_.data() + off, kPageSize);
-        return Status::OK();
-      }
+
+  uint32_t expected = 0;
+  bool have_crc = false;
+  {
+    std::shared_lock<std::shared_mutex> lk(crc_mu_);
+    auto it = page_crc_.find(page_id);
+    if (it != page_crc_.end()) {
+      expected = it->second;
+      have_crc = true;
     }
-    // Page allocated but never written: the store has not grown to
-    // cover it yet. Grow under the exclusive lock and serve zeroes.
-    std::unique_lock<std::shared_mutex> lk(mem_mu_);
-    if (mem_.size() < off + kPageSize) mem_.resize(off + kPageSize, 0);
-    std::memcpy(out, mem_.data() + off, kPageSize);
+  }
+
+  return WithRetry("read", page_id, [&]() -> Status {
+    PBITREE_RETURN_IF_ERROR(backend_->ReadPage(page_id, out));
+    // No recorded checksum (never written by this process, e.g. a page
+    // from a reopened database or one allocated but not yet written):
+    // nothing to verify against.
+    if (have_crc && Crc32c(out, kPageSize) != expected) {
+      obs::Count(obs::Counter::kIoChecksumFailures);
+      return Status::Corruption("checksum mismatch on page " +
+                                std::to_string(page_id) +
+                                " (torn or corrupted write)");
+    }
     return Status::OK();
-  }
-  ssize_t n = ::pread(fd_, out, kPageSize,
-                      static_cast<off_t>(page_id) * kPageSize);
-  if (n < 0) return Status::IOError(std::string("pread: ") + std::strerror(errno));
-  if (static_cast<size_t>(n) < kPageSize) {
-    // Page was allocated but never written; treat as zeroes.
-    std::memset(out + n, 0, kPageSize - n);
-  }
-  return Status::OK();
+  });
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* in) {
@@ -134,26 +195,20 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
   }
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Counter::kPageWrites);
-  if (fd_ < 0) {
-    const size_t off = static_cast<size_t>(page_id) * kPageSize;
-    {
-      std::shared_lock<std::shared_mutex> lk(mem_mu_);
-      if (mem_.size() >= off + kPageSize) {
-        std::memcpy(mem_.data() + off, in, kPageSize);
-        return Status::OK();
-      }
-    }
-    std::unique_lock<std::shared_mutex> lk(mem_mu_);
-    if (mem_.size() < off + kPageSize) mem_.resize(off + kPageSize, 0);
-    std::memcpy(mem_.data() + off, in, kPageSize);
-    return Status::OK();
+
+  Status s = WithRetry("write", page_id,
+                       [&] { return backend_->WritePage(page_id, in); });
+  std::unique_lock<std::shared_mutex> lk(crc_mu_);
+  if (s.ok()) {
+    page_crc_[page_id] = Crc32c(in, kPageSize);
+  } else {
+    // The page's on-store content is now unknown; drop any stale entry
+    // rather than flag a later (possibly fine) read as corruption.
+    page_crc_.erase(page_id);
   }
-  ssize_t n = ::pwrite(fd_, in, kPageSize,
-                       static_cast<off_t>(page_id) * kPageSize);
-  if (n < 0 || static_cast<size_t>(n) != kPageSize) {
-    return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  return s;
 }
+
+Status DiskManager::Sync() { return backend_->Sync(); }
 
 }  // namespace pbitree

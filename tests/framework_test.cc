@@ -133,7 +133,7 @@ TEST_F(RunnerTest, PrebuiltIndexInljnIsCheaper) {
   CountingSink sink;
   RunOptions opts;
   opts.work_pages = 16;
-  opts.d_code_index = &d_index.value();
+  opts.paths.d_code_index = &d_index.value();
   auto run = RunJoin(Algorithm::kInljn, bm_.get(), a_, d_, &sink, opts);
   ASSERT_TRUE(run.ok());
   EXPECT_EQ(run->output_pairs, expected_);

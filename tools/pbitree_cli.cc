@@ -7,16 +7,22 @@
 //   pbitree_cli query <db> '//a//b//c'   evaluate a descendant path by
 //                                        chaining containment joins
 //
-// `query` accepts `--threads N` (default 1): N > 1 runs the
-// partitioned joins on an N-worker pool; 1 is the strictly serial,
-// paper-faithful execution. `--metrics` prints the query's full
-// per-operation metrics report (counters, phase spans, wait
-// histograms) as one JSON object on stdout after the result line.
+// Run `pbitree_cli <command> --help` for per-command options. Global
+// flags: `--backend=file|mem` selects the storage backend through the
+// IoBackend factory (file — the default — persists at <db>; mem runs
+// the same commands against a volatile in-memory store, useful for
+// benchmarking the algorithms without touching disk). `--threads N`
+// (default 1) runs the partitioned joins on an N-worker pool; 1 is the
+// strictly serial, paper-faithful execution. `--metrics` prints the
+// query's full per-operation metrics report as one JSON object.
 //
 // The database file survives restarts: `encode` once, `query` many
 // times. Queries run on whatever access paths exist — freshly loaded
 // sets are neither sorted nor indexed, so the framework picks the
 // partitioning algorithms (Table 1, last row).
+//
+// Exit codes: 0 success, 1 a Status failure (I/O error, corruption,
+// bad query), 2 usage error.
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +41,7 @@
 #include "pbitree/binarize.h"
 #include "query/twig_query.h"
 #include "storage/catalog.h"
+#include "storage/io_backend.h"
 #include "xml/parser.h"
 
 using namespace pbitree;
@@ -43,12 +50,38 @@ namespace {
 
 constexpr size_t kPoolPages = 1024;
 
+/// Flags shared by every subcommand.
+struct GlobalOptions {
+  std::string backend = "file";  // file | mem (IoBackend factory kinds)
+  size_t threads = 1;
+  bool metrics = false;
+  bool help = false;
+};
+
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
 }
 
-int CmdEncode(const std::string& xml_path, const std::string& db_path) {
+int Usage(const char* msg) {
+  std::fprintf(stderr, "usage error: %s (try --help)\n", msg);
+  return 2;
+}
+
+/// Opens the database through the IoBackend factory. The file backend
+/// restores the allocation frontier from the existing file; the mem
+/// backend starts empty every run.
+StatusOr<DiskManager*> OpenDb(const GlobalOptions& g,
+                              const std::string& db_path) {
+  auto backend = MakeIoBackend(g.backend, db_path);
+  PBITREE_RETURN_IF_ERROR(backend.status());
+  return DiskManager::OpenWithBackend(std::move(*backend),
+                                      /*restore_frontier=*/g.backend == "file");
+}
+
+int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
+  const std::string& xml_path = args[0];
+  const std::string& db_path = args[1];
   DataTree tree;
   if (Status st = ParseXmlFile(xml_path, &tree); !st.ok()) return Fail(st);
   PBiTreeSpec spec;
@@ -58,7 +91,7 @@ int CmdEncode(const std::string& xml_path, const std::string& db_path) {
   std::printf("parsed %zu elements, %zu tags, PBiTree height %d\n",
               tree.size(), tree.num_tags(), spec.height);
 
-  auto opened = DiskManager::OpenExisting(db_path);
+  auto opened = OpenDb(g, db_path);
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<DiskManager> disk(*opened);
   BufferManager bm(disk.get(), kPoolPages);
@@ -84,7 +117,7 @@ int CmdEncode(const std::string& xml_path, const std::string& db_path) {
     if (Status st = catalog->Put(tree.tag_name(tag), *set); !st.ok()) {
       std::fprintf(stderr, "skipping '%s': %s\n",
                    tree.tag_name(tag).c_str(), st.ToString().c_str());
-      set->file.Drop(&bm);
+      if (Status drop = set->file.Drop(&bm); !drop.ok()) return Fail(drop);
       continue;
     }
     ++stored;
@@ -94,8 +127,8 @@ int CmdEncode(const std::string& xml_path, const std::string& db_path) {
   return 0;
 }
 
-int CmdList(const std::string& db_path) {
-  auto opened = DiskManager::OpenExisting(db_path);
+int CmdList(const GlobalOptions& g, const std::vector<std::string>& args) {
+  auto opened = OpenDb(g, args[0]);
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<DiskManager> disk(*opened);
   BufferManager bm(disk.get(), kPoolPages);
@@ -114,12 +147,13 @@ int CmdList(const std::string& db_path) {
   return 0;
 }
 
-int CmdQuery(const std::string& db_path, const std::string& query_text,
-             size_t threads, bool metrics) {
+int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
+  const std::string& db_path = args[0];
+  const std::string& query_text = args[1];
   auto parsed = ParseTwigQuery(query_text);
   if (!parsed.ok()) return Fail(parsed.status());
 
-  auto opened = DiskManager::OpenExisting(db_path);
+  auto opened = OpenDb(g, db_path);
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<DiskManager> disk(*opened);
   BufferManager bm(disk.get(), kPoolPages);
@@ -133,7 +167,7 @@ int CmdQuery(const std::string& db_path, const std::string& query_text,
 
   RunOptions opts;
   opts.work_pages = kPoolPages / 2;
-  opts.threads = threads;
+  opts.threads = g.threads;
   ElementSetProvider provider = [&](const std::string& tag) {
     return catalog->Get(&bm, tag);
   };
@@ -143,7 +177,7 @@ int CmdQuery(const std::string& db_path, const std::string& query_text,
   // registry), so the report covers the whole query pipeline.
   std::optional<obs::MetricRegistry> registry;
   std::optional<obs::MetricScope> scope;
-  if (metrics) {
+  if (g.metrics) {
     registry.emplace();
     scope.emplace(&registry.value());
   }
@@ -157,50 +191,119 @@ int CmdQuery(const std::string& db_path, const std::string& query_text,
               timer.ElapsedMillis(),
               static_cast<unsigned long long>(stats.joins),
               static_cast<unsigned long long>(stats.semijoins));
-  if (metrics) {
+  if (g.metrics) {
     std::printf("%s\n", registry->Snapshot().ToJson().c_str());
   }
-  result->file.Drop(&bm);
+  if (Status st = result->file.Drop(&bm); !st.ok()) return Fail(st);
   return 0;
+}
+
+/// One row of the subcommand table: dispatch + its own help surface.
+struct Subcommand {
+  const char* name;
+  const char* synopsis;     // positional arguments
+  const char* description;  // one-liner for the global usage listing
+  const char* options;      // flags this command honours
+  size_t min_args;
+  int (*run)(const GlobalOptions&, const std::vector<std::string>&);
+};
+
+constexpr const char* kCommonOptions =
+    "  --backend=file|mem  storage backend (default file; mem is volatile)\n"
+    "  --help              show this help\n";
+
+const Subcommand kSubcommands[] = {
+    {"encode", "<doc.xml> <db>",
+     "parse + binarize one document, store an element set per tag", "", 2,
+     CmdEncode},
+    {"list", "<db>", "show the element sets stored in the catalog", "", 1,
+     CmdList},
+    {"query", "<db> '//a[//p]//b//c'",
+     "evaluate a descendant path by chaining containment joins",
+     "  --threads N         worker threads for partitioned joins (default 1)\n"
+     "  --metrics           print the per-operation metrics report as JSON\n",
+     2, CmdQuery},
+};
+
+void PrintGlobalUsage(const char* prog, std::FILE* out) {
+  std::fprintf(out, "usage: %s <command> [options] <args>\n\ncommands:\n",
+               prog);
+  for (const Subcommand& sc : kSubcommands) {
+    std::fprintf(out, "  %-7s %-28s %s\n", sc.name, sc.synopsis,
+                 sc.description);
+  }
+  std::fprintf(out,
+               "\ncommon options:\n%s\nrun '%s <command> --help' for "
+               "command-specific options\n",
+               kCommonOptions, prog);
+}
+
+void PrintSubcommandHelp(const char* prog, const Subcommand& sc) {
+  std::printf("usage: %s %s [options] %s\n%s\noptions:\n%s%s", prog, sc.name,
+              sc.synopsis, sc.description, sc.options, kCommonOptions);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract `--threads N` / `--metrics` from anywhere on the command
-  // line.
-  size_t threads = 1;
-  bool metrics = false;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (i + 1 < argc && std::strcmp(argv[i], "--threads") == 0) {
-      long n = std::atol(argv[i + 1]);
-      threads = n < 1 ? 1 : static_cast<size_t>(n);
-      ++i;
+  GlobalOptions g;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      g.help = true;
       continue;
     }
-    if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics = true;
+    if (std::strcmp(arg, "--metrics") == 0) {
+      g.metrics = true;
       continue;
     }
-    args.push_back(argv[i]);
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      g.threads = n < 1 ? 1 : static_cast<size_t>(n);
+      continue;
+    }
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      long n = std::atol(arg + 10);
+      g.threads = n < 1 ? 1 : static_cast<size_t>(n);
+      continue;
+    }
+    if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
+      g.backend = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--backend=", 10) == 0) {
+      g.backend = arg + 10;
+      continue;
+    }
+    if (std::strncmp(arg, "--", 2) == 0) {
+      return Usage("unknown flag");
+    }
+    args.push_back(arg);
   }
-  const int n = static_cast<int>(args.size());
 
-  if (n >= 4 && std::strcmp(args[1], "encode") == 0) {
-    return CmdEncode(args[2], args[3]);
+  if (args.empty()) {
+    PrintGlobalUsage(argv[0], g.help ? stdout : stderr);
+    return g.help ? 0 : 2;
   }
-  if (n >= 3 && std::strcmp(args[1], "list") == 0) {
-    return CmdList(args[2]);
+  if (g.backend != "file" && g.backend != "mem") {
+    return Usage("--backend must be file or mem");
   }
-  if (n >= 4 && std::strcmp(args[1], "query") == 0) {
-    return CmdQuery(args[2], args[3], threads, metrics);
+
+  for (const Subcommand& sc : kSubcommands) {
+    if (args[0] != sc.name) continue;
+    if (g.help) {
+      PrintSubcommandHelp(argv[0], sc);
+      return 0;
+    }
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (rest.size() < sc.min_args) {
+      std::fprintf(stderr, "usage: %s %s [options] %s\n", argv[0], sc.name,
+                   sc.synopsis);
+      return 2;
+    }
+    return sc.run(g, rest);
   }
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s encode <doc.xml> <db>\n"
-               "  %s list <db>\n"
-               "  %s query [--threads N] [--metrics] <db> '//a[//p]//b//c'\n",
-               argv[0], argv[0], argv[0]);
+  PrintGlobalUsage(argv[0], stderr);
   return 2;
 }
