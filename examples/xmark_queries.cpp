@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
       auto run = RunAuto(&bm, *oa, *ann, &mid_sink, opts);
       if (!run.ok()) return 1;
       step1_pairs = run->output_pairs;
-      mid_sink.Finish();
+      if (!mid_sink.Finish().ok()) return 1;
     }
     // Rebuild an element set from the distinct descendants of step 1.
     auto builder = ElementSetBuilder::Create(&bm, spec);
@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
           last = pair.descendant_code;
         }
       }
+      if (!scan.status().ok()) return 1;
     }
     ElementSet mid = builder->Build();
     CountingSink final_sink;

@@ -476,15 +476,24 @@ BPTree::RangeScanner::RangeScanner(BufferManager* bm, const BPTree& tree,
                                    uint64_t lo, uint64_t hi)
     : bm_(bm), hi_(hi), lo_(lo), tree_(&tree) {}
 
+bool BPTree::RangeScanner::Fail(Status s, Status* status) {
+  status_ = std::move(s);
+  if (status != nullptr) *status = status_;
+  Close();
+  return false;
+}
+
 bool BPTree::RangeScanner::Next(ElementRecord* out, Status* status) {
+  if (!status_.ok()) {
+    // Dead scan: keep reporting the latched error, never resume.
+    if (status != nullptr) *status = status_;
+    return false;
+  }
   if (status != nullptr) *status = Status::OK();
   if (!primed_) {
     primed_ = true;
     auto res = tree_->DescendToLeaf(bm_, lo_);
-    if (!res.ok()) {
-      if (status != nullptr) *status = res.status();
-      return false;
-    }
+    if (!res.ok()) return Fail(res.status(), status);
     leaf_ = res.value();
     index_ = LeafLowerBound(leaf_, lo_);
   }
@@ -499,14 +508,12 @@ bool BPTree::RangeScanner::Next(ElementRecord* out, Status* status) {
       return true;
     }
     PageId next = LeafNext(leaf_);
-    bm_->UnpinPage(leaf_->page_id(), false);
+    Status un = bm_->UnpinPage(leaf_->page_id(), false);
     leaf_ = nullptr;
+    if (!un.ok()) return Fail(std::move(un), status);
     if (next == kInvalidPageId) return false;
     auto res = bm_->FetchPage(next);
-    if (!res.ok()) {
-      if (status != nullptr) *status = res.status();
-      return false;
-    }
+    if (!res.ok()) return Fail(res.status(), status);
     leaf_ = res.value();
     index_ = 0;
   }

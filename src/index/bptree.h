@@ -85,7 +85,16 @@ class BPTree {
     bool Next(ElementRecord* out, Status* status = nullptr);
     void Close();
 
+    /// First error this scan hit, latched for the scanner's lifetime;
+    /// OK while healthy. Lets callers that pass no per-call status
+    /// pointer still observe failures after their loop ends. Once an
+    /// error latches the scan is dead: Next keeps returning false.
+    const Status& status() const { return status_; }
+
    private:
+    /// Latches `s`, mirrors it into the optional out-param, kills the scan.
+    bool Fail(Status s, Status* status);
+
     BufferManager* bm_;
     uint64_t hi_;
     Page* leaf_ = nullptr;
@@ -93,7 +102,7 @@ class BPTree {
     bool primed_ = false;
     uint64_t lo_;
     const BPTree* tree_;
-    Status init_status_;
+    Status status_;
   };
 
   /// First leaf entry with key >= `key`; used by ADB+ skipping. Returns

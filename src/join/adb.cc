@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "join/validate.h"
 #include "obs/metrics.h"
 
 namespace pbitree {
@@ -52,10 +53,10 @@ class IndexCursor {
 Status AdbJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
                const BPTree& a_start_index, const BPTree& d_start_index,
                ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("ADB+: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("ADB+", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   if (a_start_index.key_kind() != KeyKind::kStart ||
       d_start_index.key_kind() != KeyKind::kStart) {
     return Status::InvalidArgument("ADB+ requires Start-keyed B+-trees");
@@ -71,6 +72,7 @@ Status AdbJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
   IndexCursor d_cur(ctx->bm, d_start_index);
   PBITREE_RETURN_IF_ERROR(a_cur.SeekTo(0));
   PBITREE_RETURN_IF_ERROR(d_cur.SeekTo(0));
+  PairBuffer out(sink, &ctx->stats.output_pairs);
 
   std::vector<Code> stack;
 
@@ -115,14 +117,13 @@ Status AdbJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
       }
       for (Code anc : stack) {
         if (IsAncestor(anc, d_cur.rec().code)) {
-          ++ctx->stats.output_pairs;
-          PBITREE_RETURN_IF_ERROR(sink->OnPair(anc, d_cur.rec().code));
+          PBITREE_RETURN_IF_ERROR(out.Emit(anc, d_cur.rec().code));
         }
       }
       PBITREE_RETURN_IF_ERROR(d_cur.Advance());
     }
   }
-  return Status::OK();
+  return out.Flush();
 }
 
 }  // namespace pbitree

@@ -24,22 +24,20 @@ uint64_t HashKey(uint64_t key, int salt) {
 /// already at height h this is its own code (F(n, height(n)) = n).
 uint64_t RolledKey(Code code, int h) { return AncestorAtHeight(code, h); }
 
-/// Emits one rolled-key match under the given mode. Returns OK and
-/// bumps the right counter.
+/// Emits one rolled-key match under the given mode into the join's
+/// staging buffer. Returns OK and bumps the right counter.
 Status EmitMatch(JoinContext* ctx, Code a, Code d, EquiMode mode,
-                 ResultSink* sink) {
+                 PairBuffer* out) {
   if (mode == EquiMode::kContainment) {
     if (IsAncestor(a, d)) {
-      ++ctx->stats.output_pairs;
-      return sink->OnPair(a, d);
+      return out->Emit(a, d);
     }
     ++ctx->stats.false_hits;
     return Status::OK();
   }
   // Proximity: all distinct same-subtree pairs count.
   if (a != d) {
-    ++ctx->stats.output_pairs;
-    return sink->OnPair(a, d);
+    return out->Emit(a, d);
   }
   return Status::OK();
 }
@@ -58,29 +56,33 @@ Status InMemoryJoin(JoinContext* ctx, const HeapFile& a_file,
   {
     obs::ObsSpan build_span(obs::Phase::kBuild);
     HeapFile::Scanner scan(ctx->bm, build);
-    ElementRecord rec;
-    Status st;
-    while (scan.NextElement(&rec, &st)) {
-      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-      table.emplace(RolledKey(rec.code, h), rec.code);
+    for (auto batch = scan.NextElementBatch(); !batch.empty();
+         batch = scan.NextElementBatch()) {
+      for (const ElementRecord& rec : batch) {
+        if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+        table.emplace(RolledKey(rec.code, h), rec.code);
+      }
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(scan.status());
   }
 
   obs::ObsSpan probe_span(obs::Phase::kProbe);
+  PairBuffer out(sink, &ctx->stats.output_pairs);
   HeapFile::Scanner scan(ctx->bm, probe);
-  ElementRecord rec;
-  Status st;
-  while (scan.NextElement(&rec, &st)) {
-    if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-    auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
-    for (auto it = lo; it != hi; ++it) {
-      Code a = build_a ? it->second : rec.code;
-      Code d = build_a ? rec.code : it->second;
-      PBITREE_RETURN_IF_ERROR(EmitMatch(ctx, a, d, mode, sink));
+  for (auto batch = scan.NextElementBatch(); !batch.empty();
+       batch = scan.NextElementBatch()) {
+    for (const ElementRecord& rec : batch) {
+      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+      auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
+      for (auto it = lo; it != hi; ++it) {
+        Code a = build_a ? it->second : rec.code;
+        Code d = build_a ? rec.code : it->second;
+        PBITREE_RETURN_IF_ERROR(EmitMatch(ctx, a, d, mode, &out));
+      }
     }
   }
-  return st;
+  PBITREE_RETURN_IF_ERROR(scan.status());
+  return out.Flush();
 }
 
 /// Block nested-loop fallback for pathologically skewed partitions where
@@ -94,8 +96,8 @@ Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
   const HeapFile& probe = build_a ? d_file : a_file;
   const uint64_t chunk = std::max<uint64_t>(ctx->WorkRecordBudget(), 1);
 
-  HeapFile::Scanner build_scan(ctx->bm, build);
-  Status st;
+  HeapFile::BatchCursor build_cur(ctx->bm, build);
+  PairBuffer out(sink, &ctx->stats.output_pairs);
   bool more = true;
   while (more) {
     if (ctx->ShouldCancel()) {
@@ -103,27 +105,33 @@ Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
     }
     std::unordered_multimap<uint64_t, Code> table;
     uint64_t n = 0;
-    ElementRecord rec;
-    while (n < chunk && (more = build_scan.NextElement(&rec, &st))) {
-      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-      table.emplace(RolledKey(rec.code, h), rec.code);
+    for (; build_cur.live() && n < chunk; build_cur.Advance()) {
+      const Code c = build_cur.rec().code;
+      if (mode == EquiMode::kProximity && HeightOf(c) > h) continue;
+      table.emplace(RolledKey(c, h), c);
       ++n;
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    if (!build_cur.live()) {
+      PBITREE_RETURN_IF_ERROR(build_cur.status());
+      more = false;
+    }
     if (table.empty()) break;
     HeapFile::Scanner probe_scan(ctx->bm, probe);
-    while (probe_scan.NextElement(&rec, &st)) {
-      if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-      auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
-      for (auto it = lo; it != hi; ++it) {
-        Code a = build_a ? it->second : rec.code;
-        Code d = build_a ? rec.code : it->second;
-        PBITREE_RETURN_IF_ERROR(EmitMatch(ctx, a, d, mode, sink));
+    for (auto batch = probe_scan.NextElementBatch(); !batch.empty();
+         batch = probe_scan.NextElementBatch()) {
+      for (const ElementRecord& rec : batch) {
+        if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
+        auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
+        for (auto it = lo; it != hi; ++it) {
+          Code a = build_a ? it->second : rec.code;
+          Code d = build_a ? rec.code : it->second;
+          PBITREE_RETURN_IF_ERROR(EmitMatch(ctx, a, d, mode, &out));
+        }
       }
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(probe_scan.status());
   }
-  return Status::OK();
+  return out.Flush();
 }
 
 /// Drops every valid partition file in `parts`, keeping `keep` (the
@@ -150,21 +158,34 @@ Status PartitionFile(JoinContext* ctx, const HeapFile& input, int h, size_t k,
   parts->resize(k);
   std::vector<std::unique_ptr<HeapFile::Appender>> apps(k);
   HeapFile::Scanner scan(ctx->bm, input);
-  ElementRecord rec;
   Status st;
-  while (scan.NextElement(&rec, &st)) {
-    size_t p = HashKey(RolledKey(rec.code, h), salt) % k;
-    if (apps[p] == nullptr) {
-      auto created = HeapFile::Create(ctx->bm);
-      if (!created.ok()) {
-        st = created.status();
-        break;
+  for (auto batch = scan.NextElementBatch(); !batch.empty() && st.ok();
+       batch = scan.NextElementBatch()) {
+    for (const ElementRecord& rec : batch) {
+      size_t p = HashKey(RolledKey(rec.code, h), salt) % k;
+      if (apps[p] == nullptr) {
+        auto created = HeapFile::Create(ctx->bm);
+        if (!created.ok()) {
+          st = created.status();
+          break;
+        }
+        (*parts)[p] = std::move(*created);
+        apps[p] = std::make_unique<HeapFile::Appender>(ctx->bm, &(*parts)[p]);
       }
-      (*parts)[p] = std::move(*created);
-      apps[p] = std::make_unique<HeapFile::Appender>(ctx->bm, &(*parts)[p]);
+      st = apps[p]->AppendElement(rec);
+      if (!st.ok()) break;
     }
-    st = apps[p]->AppendElement(rec);
-    if (!st.ok()) break;
+  }
+  if (st.ok()) st = scan.status();
+  if (st.ok()) {
+    // Close every partition explicitly so a failed final-page unpin
+    // surfaces here instead of vanishing in a destructor.
+    for (auto& app : apps) {
+      if (app != nullptr) {
+        st = app->Finish();
+        if (!st.ok()) break;
+      }
+    }
   }
   if (!st.ok()) {
     // Appenders must release their pins before the files can be dropped.
@@ -302,10 +323,11 @@ Result<std::vector<ElementRecord>> LoadAllRecords(BufferManager* bm,
   std::vector<ElementRecord> out;
   out.reserve(file.num_records());
   HeapFile::Scanner scan(bm, file);
-  ElementRecord rec;
-  Status st;
-  while (scan.NextElement(&rec, &st)) out.push_back(rec);
-  PBITREE_RETURN_IF_ERROR(st);
+  for (auto batch = scan.NextElementBatch(); !batch.empty();
+       batch = scan.NextElementBatch()) {
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  PBITREE_RETURN_IF_ERROR(scan.status());
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "join/inljn.h"
 
+#include "join/validate.h"
 #include "obs/metrics.h"
 
 namespace pbitree {
@@ -10,58 +11,58 @@ namespace {
 /// subtree interval.
 Status ProbeDescendants(JoinContext* ctx, const ElementSet& a,
                         const BPTree& d_index, ResultSink* sink) {
-  HeapFile::Scanner scan(ctx->bm, a.file);
-  ElementRecord a_rec;
-  Status st;
-  while (scan.NextElement(&a_rec, &st)) {
-    CodeInterval iv = SubtreeInterval(a_rec.code);
+  HeapFile::BatchCursor cur(ctx->bm, a.file);
+  PairBuffer out(sink, &ctx->stats.output_pairs);
+  for (; cur.live(); cur.Advance()) {
+    const Code a_code = cur.rec().code;
+    CodeInterval iv = SubtreeInterval(a_code);
     ++ctx->stats.index_probes;
     BPTree::RangeScanner range(ctx->bm, d_index, iv.lo, iv.hi);
     ElementRecord d_rec;
     Status rst;
     while (range.Next(&d_rec, &rst)) {
-      if (d_rec.code == a_rec.code) continue;  // the element itself
-      ++ctx->stats.output_pairs;
-      PBITREE_RETURN_IF_ERROR(sink->OnPair(a_rec.code, d_rec.code));
+      if (d_rec.code == a_code) continue;  // the element itself
+      PBITREE_RETURN_IF_ERROR(out.Emit(a_code, d_rec.code));
     }
     PBITREE_RETURN_IF_ERROR(rst);
   }
-  return st;
+  PBITREE_RETURN_IF_ERROR(cur.status());
+  return out.Flush();
 }
 
 /// Outer = D: for each descendant, stab A's interval index at its code.
 Status ProbeAncestors(JoinContext* ctx, const ElementSet& d,
                       const IntervalIndex& a_index, ResultSink* sink) {
-  HeapFile::Scanner scan(ctx->bm, d.file);
-  ElementRecord d_rec;
-  Status st;
-  while (scan.NextElement(&d_rec, &st)) {
+  HeapFile::BatchCursor cur(ctx->bm, d.file);
+  PairBuffer out(sink, &ctx->stats.output_pairs);
+  for (; cur.live(); cur.Advance()) {
+    const Code d_code = cur.rec().code;
     ++ctx->stats.index_probes;
     Status emit_status;
     Status stab = a_index.Stab(
-        ctx->bm, d_rec.code, [&](const ElementRecord& a_rec) {
+        ctx->bm, d_code, [&](const ElementRecord& a_rec) {
           // Stab returns every region containing d's code; the Lemma-1
           // check drops the self match (code == code).
-          if (IsAncestor(a_rec.code, d_rec.code)) {
-            ++ctx->stats.output_pairs;
-            Status s = sink->OnPair(a_rec.code, d_rec.code);
+          if (IsAncestor(a_rec.code, d_code)) {
+            Status s = out.Emit(a_rec.code, d_code);
             if (!s.ok() && emit_status.ok()) emit_status = s;
           }
         });
     PBITREE_RETURN_IF_ERROR(stab);
     PBITREE_RETURN_IF_ERROR(emit_status);
   }
-  return st;
+  PBITREE_RETURN_IF_ERROR(cur.status());
+  return out.Flush();
 }
 
 }  // namespace
 
 Status Inljn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
              const InljnIndexes& indexes, ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("INLJN: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("INLJN", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   const bool can_probe_d = indexes.d_code_index != nullptr;
   const bool can_probe_a = indexes.a_interval_index != nullptr;
   if (!can_probe_d && !can_probe_a) {

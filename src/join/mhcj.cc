@@ -5,16 +5,17 @@
 
 #include "exec/partition_exec.h"
 #include "join/hash_equijoin.h"
+#include "join/validate.h"
 #include "obs/metrics.h"
 
 namespace pbitree {
 
 Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
             ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("MHCJ: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("MHCJ", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   if (a.SingleHeight()) {
     // Route to SHCJ directly (line 1-3 of Algorithm 3) — no
     // partitioning pass needed.
@@ -51,22 +52,35 @@ Status Mhcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
       obs::ObsSpan partition_span(obs::Phase::kPartition);
       std::vector<std::unique_ptr<HeapFile::Appender>> apps(end - base);
       HeapFile::Scanner scan(ctx->bm, a.file);
-      ElementRecord rec;
       Status st;
-      while (scan.NextElement(&rec, &st)) {
-        int slot = slot_of[HeightOf(rec.code)];
-        if (slot < 0) continue;  // height handled by another batch
-        if (apps[slot] == nullptr) {
-          auto created = HeapFile::Create(ctx->bm);
-          if (!created.ok()) {
-            st = created.status();
-            break;
+      for (auto recs = scan.NextElementBatch(); !recs.empty() && st.ok();
+           recs = scan.NextElementBatch()) {
+        for (const ElementRecord& rec : recs) {
+          int slot = slot_of[HeightOf(rec.code)];
+          if (slot < 0) continue;  // height handled by another batch
+          if (apps[slot] == nullptr) {
+            auto created = HeapFile::Create(ctx->bm);
+            if (!created.ok()) {
+              st = created.status();
+              break;
+            }
+            parts[slot] = std::move(*created);
+            apps[slot] =
+                std::make_unique<HeapFile::Appender>(ctx->bm, &parts[slot]);
           }
-          parts[slot] = std::move(*created);
-          apps[slot] = std::make_unique<HeapFile::Appender>(ctx->bm, &parts[slot]);
+          st = apps[slot]->AppendElement(rec);
+          if (!st.ok()) break;
         }
-        st = apps[slot]->AppendElement(rec);
-        if (!st.ok()) break;
+      }
+      if (st.ok()) st = scan.status();
+      if (st.ok()) {
+        // Surface a failed tail-page unpin now, not in a destructor.
+        for (auto& app : apps) {
+          if (app != nullptr) {
+            st = app->Finish();
+            if (!st.ok()) break;
+          }
+        }
       }
       if (!st.ok()) {
         apps.clear();  // release appender pins before dropping

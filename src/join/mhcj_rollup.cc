@@ -4,15 +4,16 @@
 
 #include "join/hash_equijoin.h"
 #include "join/mhcj.h"
+#include "join/validate.h"
 
 namespace pbitree {
 
 Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
                   ResultSink* sink, RollupHeightPolicy policy) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("MHCJ+Rollup: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("MHCJ+Rollup", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
 
   if (policy == RollupHeightPolicy::kMax || a.SingleHeight()) {
     // Roll every ancestor up to the highest height present: the whole
@@ -49,21 +50,33 @@ Status MhcjRollup(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
     HeapFile::Appender low_app(ctx->bm, &low.file);
     HeapFile::Appender high_app(ctx->bm, &high.file);
     HeapFile::Scanner scan(ctx->bm, a.file);
-    ElementRecord rec;
     Status st;
-    while (scan.NextElement(&rec, &st)) {
-      int h = HeightOf(rec.code);
-      if (h <= h_med) {
-        low.height_mask |= uint64_t{1} << h;
-        st = low_app.AppendElement(rec);
-      } else {
-        high.height_mask |= uint64_t{1} << h;
-        st = high_app.AppendElement(rec);
+    for (auto recs = scan.NextElementBatch(); !recs.empty() && st.ok();
+         recs = scan.NextElementBatch()) {
+      for (const ElementRecord& rec : recs) {
+        int h = HeightOf(rec.code);
+        if (h <= h_med) {
+          low.height_mask |= uint64_t{1} << h;
+          st = low_app.AppendElement(rec);
+        } else {
+          high.height_mask |= uint64_t{1} << h;
+          st = high_app.AppendElement(rec);
+        }
+        if (!st.ok()) break;
       }
-      if (!st.ok()) break;
     }
+    if (st.ok()) st = scan.status();
     if (!st.ok()) {
       low_app.Finish();  // release tail-page pins before dropping
+      high_app.Finish();
+      return drop_both(st);
+    }
+    // A failed tail-page write-back means the split files are not fully
+    // durable; report it instead of joining against truncated inputs.
+    st = low_app.Finish();
+    if (st.ok()) st = high_app.Finish();
+    if (!st.ok()) {
+      low_app.Finish();
       high_app.Finish();
       return drop_both(st);
     }

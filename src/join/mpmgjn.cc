@@ -3,6 +3,7 @@
 #include <deque>
 #include <memory>
 
+#include "join/validate.h"
 #include "obs/metrics.h"
 #include "sort/external_sort.h"
 
@@ -30,14 +31,25 @@ class RewindableScan {
     if (pos < window_base_) {
       // Window lost: restart the scan from the beginning (real I/O).
       scan_ = std::make_unique<HeapFile::Scanner>(bm_, *file_);
+      batch_ = {};
+      batch_index_ = 0;
       window_base_ = 0;
       next_ = 0;
       window_.clear();
     }
     while (next_ <= pos) {
-      ElementRecord rec;
-      if (!scan_->NextElement(&rec, st)) return false;
-      window_.push_back(rec);
+      // Pull from the current zero-copy batch, refilling a page at a
+      // time; the page fetch happens at the same record index the
+      // one-at-a-time scan fetched it.
+      if (batch_index_ >= batch_.size()) {
+        batch_ = scan_->NextElementBatch();
+        batch_index_ = 0;
+        if (batch_.empty()) {
+          *st = scan_->status();
+          return false;
+        }
+      }
+      window_.push_back(batch_[batch_index_++]);
       ++next_;
       // Bound the in-memory window.
       while (window_.size() > kMaxWindow) {
@@ -59,6 +71,8 @@ class RewindableScan {
   BufferManager* bm_;
   const HeapFile* file_;
   std::unique_ptr<HeapFile::Scanner> scan_;
+  std::span<const ElementRecord> batch_;
+  size_t batch_index_ = 0;
   std::deque<ElementRecord> window_;
   uint64_t window_base_ = 0;
   uint64_t next_ = 0;
@@ -68,26 +82,23 @@ class RewindableScan {
 
 Status Mpmgjn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
               ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("MPMGJN: inputs from different PBiTrees");
-  }
-  if (!a.sorted_by_start || !d.sorted_by_start) {
-    return Status::InvalidArgument(
-        "MPMGJN requires both inputs sorted in document order");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("MPMGJN", a, d, /*require_sorted=*/true, &empty));
+  if (empty) return Status::OK();
 
   obs::ObsSpan merge_span(obs::Phase::kMerge);
-  HeapFile::Scanner a_scan(ctx->bm, a.file);
+  HeapFile::BatchCursor a_cur(ctx->bm, a.file);
   RewindableScan d_scan(ctx->bm, d.file);
+  PairBuffer out(sink, &ctx->stats.output_pairs);
 
-  ElementRecord a_rec, d_rec;
-  Status st;
+  ElementRecord d_rec;
   uint64_t mark = 0;  // index in D where the current merge segment starts
 
-  while (a_scan.NextElement(&a_rec, &st)) {
-    const uint64_t a_start = StartOf(a_rec.code);
-    const uint64_t a_end = EndOf(a_rec.code);
+  for (; a_cur.live(); a_cur.Advance()) {
+    const Code a_code = a_cur.rec().code;
+    const uint64_t a_start = StartOf(a_code);
+    const uint64_t a_end = EndOf(a_code);
     // Advance the mark past descendants that no later ancestor can
     // contain (their Start precedes this and every following a).
     ElementRecord probe;
@@ -99,14 +110,14 @@ Status Mpmgjn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
     // Scan the segment of D inside a's region (rescanned per ancestor).
     for (uint64_t pos = mark; d_scan.At(pos, &d_rec, &pst); ++pos) {
       if (StartOf(d_rec.code) > a_end) break;
-      if (IsAncestor(a_rec.code, d_rec.code)) {
-        ++ctx->stats.output_pairs;
-        PBITREE_RETURN_IF_ERROR(sink->OnPair(a_rec.code, d_rec.code));
+      if (IsAncestor(a_code, d_rec.code)) {
+        PBITREE_RETURN_IF_ERROR(out.Emit(a_code, d_rec.code));
       }
     }
     PBITREE_RETURN_IF_ERROR(pst);
   }
-  return st;
+  PBITREE_RETURN_IF_ERROR(a_cur.status());
+  return out.Flush();
 }
 
 }  // namespace pbitree

@@ -1,17 +1,17 @@
 #include "join/proximity.h"
 
 #include "join/hash_equijoin.h"
+#include "join/validate.h"
 
 namespace pbitree {
 
 Status ProximityJoin(JoinContext* ctx, const ElementSet& x,
                      const ElementSet& y, int subtree_height,
                      ResultSink* sink) {
-  if (x.num_records() == 0 || y.num_records() == 0) return Status::OK();
-  if (x.spec != y.spec) {
-    return Status::InvalidArgument(
-        "proximity join: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(ValidateJoinInputs("proximity join", x, y,
+                                             /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   if (subtree_height < 1 || subtree_height >= x.spec.height) {
     return Status::InvalidArgument("subtree height out of range");
   }

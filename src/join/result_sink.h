@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -15,7 +16,10 @@ namespace pbitree {
 /// \brief Consumer of containment-join output tuples.
 ///
 /// Join algorithms emit (ancestor, descendant) code pairs into a sink;
-/// benchmarks count, tests collect, applications materialise.
+/// benchmarks count, tests collect, applications materialise. Hot loops
+/// emit batches (usually staged through a PairBuffer) so the virtual
+/// dispatch and the Status round-trip amortise over many pairs; OnPair
+/// remains for callers producing single pairs.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
@@ -25,10 +29,66 @@ class ResultSink {
   /// distinct same-subtree elements.
   virtual Status OnPair(Code a, Code d) = 0;
 
+  /// Batched emission, pairs in emission order. The default forwards
+  /// pair-by-pair so sinks only implementing OnPair stay correct;
+  /// every sink in the repository overrides it with a bulk path.
+  virtual Status OnBatch(std::span<const ResultPair> pairs) {
+    for (const ResultPair& p : pairs) {
+      PBITREE_RETURN_IF_ERROR(OnPair(p.ancestor_code, p.descendant_code));
+    }
+    return Status::OK();
+  }
+
   uint64_t count() const { return count_; }
 
  protected:
   uint64_t count_ = 0;
+};
+
+/// \brief Fixed-size staging buffer between a join's inner loop and its
+/// sink: Emit() is a non-virtual store into a local array, and a full
+/// buffer flushes as one OnBatch call — amortising the virtual dispatch
+/// and Status check over kCapacity pairs.
+///
+/// Pairs also count into `*pair_counter` (the join's
+/// stats.output_pairs) at Emit time, exactly as the per-pair loops did.
+/// Callers MUST Flush() before reading results or returning success;
+/// the destructor deliberately drops unflushed pairs (error paths
+/// abandon output, they don't emit it).
+class PairBuffer {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  PairBuffer(ResultSink* sink, uint64_t* pair_counter)
+      : sink_(sink), pair_counter_(pair_counter) {}
+
+  Status Emit(Code a, Code d) {
+    ++*pair_counter_;
+    buf_[size_++] = ResultPair{a, d};
+    if (size_ == kCapacity) return Flush();
+    return Status::OK();
+  }
+
+  /// Emits an already-materialised run of pairs: flushes the staged
+  /// tail first (order!), then hands the run to the sink whole.
+  Status EmitRun(std::span<const ResultPair> pairs) {
+    PBITREE_RETURN_IF_ERROR(Flush());
+    *pair_counter_ += pairs.size();
+    return sink_->OnBatch(pairs);
+  }
+
+  Status Flush() {
+    if (size_ == 0) return Status::OK();
+    size_t n = size_;
+    size_ = 0;
+    return sink_->OnBatch(std::span<const ResultPair>(buf_, n));
+  }
+
+ private:
+  ResultSink* sink_;
+  uint64_t* pair_counter_;
+  size_t size_ = 0;
+  ResultPair buf_[kCapacity];
 };
 
 /// Counts results without storing them (the benchmark sink).
@@ -36,6 +96,11 @@ class CountingSink : public ResultSink {
  public:
   Status OnPair(Code, Code) override {
     ++count_;
+    return Status::OK();
+  }
+
+  Status OnBatch(std::span<const ResultPair> pairs) override {
+    count_ += pairs.size();
     return Status::OK();
   }
 };
@@ -47,6 +112,12 @@ class VectorSink : public ResultSink {
   Status OnPair(Code a, Code d) override {
     ++count_;
     pairs_.push_back(ResultPair{a, d});
+    return Status::OK();
+  }
+
+  Status OnBatch(std::span<const ResultPair> pairs) override {
+    count_ += pairs.size();
+    pairs_.insert(pairs_.end(), pairs.begin(), pairs.end());
     return Status::OK();
   }
 
@@ -109,6 +180,26 @@ class BufferingSink : public ResultSink {
     return Status::OK();
   }
 
+  /// Bulk ingest in spill-boundary-identical chunks: the buffer spills
+  /// at exactly the same fill points as pair-by-pair emission, so spill
+  /// files (and their page I/O) are byte-identical either way.
+  Status OnBatch(std::span<const ResultPair> pairs) override {
+    if (bm_ == nullptr) {
+      count_ += pairs.size();
+      pairs_.insert(pairs_.end(), pairs.begin(), pairs.end());
+      return Status::OK();
+    }
+    while (!pairs.empty()) {
+      const size_t room = max_buffered_ - pairs_.size();
+      const size_t m = pairs.size() < room ? pairs.size() : room;
+      count_ += m;
+      pairs_.insert(pairs_.end(), pairs.begin(), pairs.begin() + m);
+      pairs = pairs.subspan(m);
+      if (pairs_.size() >= max_buffered_) PBITREE_RETURN_IF_ERROR(Spill());
+    }
+    return Status::OK();
+  }
+
   /// Forwards every buffered pair to `target` (in emission order:
   /// spilled pairs first, then the in-memory tail) and clears the
   /// buffer.
@@ -116,19 +207,15 @@ class BufferingSink : public ResultSink {
     if (spill_.valid()) {
       {
         HeapFile::Scanner scan(bm_, spill_);
-        ResultPair p;
-        Status st;
-        while (scan.NextPair(&p, &st)) {
-          PBITREE_RETURN_IF_ERROR(
-              target->OnPair(p.ancestor_code, p.descendant_code));
+        for (std::span<const ResultPair> batch = scan.NextPairBatch();
+             !batch.empty(); batch = scan.NextPairBatch()) {
+          PBITREE_RETURN_IF_ERROR(target->OnBatch(batch));
         }
-        PBITREE_RETURN_IF_ERROR(st);
+        PBITREE_RETURN_IF_ERROR(scan.status());
       }
       PBITREE_RETURN_IF_ERROR(spill_.Drop(bm_));
     }
-    for (const ResultPair& p : pairs_) {
-      PBITREE_RETURN_IF_ERROR(target->OnPair(p.ancestor_code, p.descendant_code));
-    }
+    PBITREE_RETURN_IF_ERROR(target->OnBatch(pairs_));
     pairs_.clear();
     return Status::OK();
   }
@@ -144,10 +231,8 @@ class BufferingSink : public ResultSink {
     obs::Count(obs::Counter::kSinkSpills);
     obs::Count(obs::Counter::kSinkSpilledPairs, pairs_.size());
     HeapFile::Appender app(bm_, &spill_);
-    for (const ResultPair& p : pairs_) {
-      PBITREE_RETURN_IF_ERROR(app.AppendPair(p));
-    }
-    app.Finish();
+    PBITREE_RETURN_IF_ERROR(app.AppendPairs(pairs_));
+    PBITREE_RETURN_IF_ERROR(app.Finish());
     pairs_.clear();
     return Status::OK();
   }
@@ -169,8 +254,15 @@ class MaterializeSink : public ResultSink {
     return app_.AppendPair(ResultPair{a, d});
   }
 
-  /// Flushes the tail page. Must be called before reading the file.
-  void Finish() { app_.Finish(); }
+  Status OnBatch(std::span<const ResultPair> pairs) override {
+    count_ += pairs.size();
+    return app_.AppendPairs(pairs);
+  }
+
+  /// Flushes the tail page. Must be called — and its status checked —
+  /// before reading the file: a failed tail flush means the last page
+  /// of pairs never became readable.
+  Status Finish() { return app_.Finish(); }
 
  private:
   HeapFile::Appender app_;
@@ -183,16 +275,29 @@ class VerifyingSink : public ResultSink {
   explicit VerifyingSink(ResultSink* inner) : inner_(inner) {}
 
   Status OnPair(Code a, Code d) override {
+    PBITREE_RETURN_IF_ERROR(Verify(a, d));
+    ++count_;
+    return inner_->OnPair(a, d);
+  }
+
+  Status OnBatch(std::span<const ResultPair> pairs) override {
+    for (const ResultPair& p : pairs) {
+      PBITREE_RETURN_IF_ERROR(Verify(p.ancestor_code, p.descendant_code));
+    }
+    count_ += pairs.size();
+    return inner_->OnBatch(pairs);
+  }
+
+ private:
+  static Status Verify(Code a, Code d) {
     if (!IsAncestor(a, d)) {
       return Status::Internal("join emitted non-ancestor pair (" +
                               std::to_string(a) + ", " + std::to_string(d) +
                               ")");
     }
-    ++count_;
-    return inner_->OnPair(a, d);
+    return Status::OK();
   }
 
- private:
   ResultSink* inner_;
 };
 

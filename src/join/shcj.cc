@@ -1,15 +1,16 @@
 #include "join/shcj.h"
 
 #include "join/hash_equijoin.h"
+#include "join/validate.h"
 
 namespace pbitree {
 
 Status Shcj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
             ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("SHCJ: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("SHCJ", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   if (!a.SingleHeight()) {
     return Status::InvalidArgument(
         "SHCJ requires a single-height ancestor set (use MHCJ)");

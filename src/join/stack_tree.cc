@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "join/validate.h"
 #include "obs/metrics.h"
 #include "sort/external_sort.h"
 
@@ -9,23 +10,16 @@ namespace pbitree {
 
 Status StackTreeJoin(JoinContext* ctx, const ElementSet& a,
                      const ElementSet& d, ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("StackTree: inputs from different PBiTrees");
-  }
-  if (!a.sorted_by_start || !d.sorted_by_start) {
-    return Status::InvalidArgument(
-        "StackTree requires both inputs sorted in document order");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("StackTree", a, d, /*require_sorted=*/true, &empty));
+  if (empty) return Status::OK();
 
-  HeapFile::Scanner a_scan(ctx->bm, a.file);
-  HeapFile::Scanner d_scan(ctx->bm, d.file);
-  ElementRecord a_rec, d_rec;
-  Status st;
-  bool a_live = a_scan.NextElement(&a_rec, &st);
-  PBITREE_RETURN_IF_ERROR(st);
-  bool d_live = d_scan.NextElement(&d_rec, &st);
-  PBITREE_RETURN_IF_ERROR(st);
+  HeapFile::BatchCursor a_cur(ctx->bm, a.file);
+  HeapFile::BatchCursor d_cur(ctx->bm, d.file);
+  PBITREE_RETURN_IF_ERROR(a_cur.status());
+  PBITREE_RETURN_IF_ERROR(d_cur.status());
+  PairBuffer out(sink, &ctx->stats.output_pairs);
 
   // The stack holds the chain of currently open ancestors (each entry
   // nested in the one below). Its depth is bounded by the PBiTree
@@ -34,36 +28,37 @@ Status StackTreeJoin(JoinContext* ctx, const ElementSet& a,
   obs::ObsSpan merge_span(obs::Phase::kMerge);
   std::vector<Code> stack;
 
-  while (d_live && (a_live || !stack.empty())) {
-    if (a_live && ElementLess(a_rec, d_rec, SortOrder::kStartOrder)) {
+  while (d_cur.live() && (a_cur.live() || !stack.empty())) {
+    if (a_cur.live() && ElementLess(a_cur.rec(), d_cur.rec(), SortOrder::kStartOrder)) {
       // Next event is an ancestor-set element: close finished
       // ancestors, open this one.
-      while (!stack.empty() && EndOf(stack.back()) < StartOf(a_rec.code)) {
+      const Code a_code = a_cur.rec().code;
+      while (!stack.empty() && EndOf(stack.back()) < StartOf(a_code)) {
         stack.pop_back();
       }
-      stack.push_back(a_rec.code);
-      a_live = a_scan.NextElement(&a_rec, &st);
-      PBITREE_RETURN_IF_ERROR(st);
+      stack.push_back(a_code);
+      a_cur.Advance();
+      if (!a_cur.live()) PBITREE_RETURN_IF_ERROR(a_cur.status());
     } else {
       // Next event is a descendant-set element: close finished
       // ancestors, then every remaining stack entry contains it.
-      while (!stack.empty() && EndOf(stack.back()) < StartOf(d_rec.code)) {
+      const Code d_code = d_cur.rec().code;
+      while (!stack.empty() && EndOf(stack.back()) < StartOf(d_code)) {
         stack.pop_back();
       }
       for (Code anc : stack) {
         // The Lemma-1 check filters the self pair (the same element in
         // both sets) at O(1) cost; all other stack entries are genuine
         // ancestors.
-        if (IsAncestor(anc, d_rec.code)) {
-          ++ctx->stats.output_pairs;
-          PBITREE_RETURN_IF_ERROR(sink->OnPair(anc, d_rec.code));
+        if (IsAncestor(anc, d_code)) {
+          PBITREE_RETURN_IF_ERROR(out.Emit(anc, d_code));
         }
       }
-      d_live = d_scan.NextElement(&d_rec, &st);
-      PBITREE_RETURN_IF_ERROR(st);
+      d_cur.Advance();
+      if (!d_cur.live()) PBITREE_RETURN_IF_ERROR(d_cur.status());
     }
   }
-  return Status::OK();
+  return out.Flush();
 }
 
 namespace {
@@ -77,8 +72,8 @@ struct AncEntry {
   std::vector<ResultPair> inherit;
 };
 
-Status FlushAncEntry(JoinContext* ctx, AncEntry&& e,
-                     std::vector<AncEntry>* stack, ResultSink* sink) {
+Status FlushAncEntry(AncEntry&& e, std::vector<AncEntry>* stack,
+                     PairBuffer* out) {
   if (!stack->empty()) {
     // Parent still open: this ancestor's output must follow the
     // parent's own pairs, so buffer it on the parent.
@@ -93,38 +88,27 @@ Status FlushAncEntry(JoinContext* ctx, AncEntry&& e,
     return Status::OK();
   }
   for (Code d : e.self_descendants) {
-    ++ctx->stats.output_pairs;
-    PBITREE_RETURN_IF_ERROR(sink->OnPair(e.anc, d));
+    PBITREE_RETURN_IF_ERROR(out->Emit(e.anc, d));
   }
-  for (const ResultPair& p : e.inherit) {
-    ++ctx->stats.output_pairs;
-    PBITREE_RETURN_IF_ERROR(sink->OnPair(p.ancestor_code, p.descendant_code));
-  }
-  return Status::OK();
+  // The inherited tail is already a materialised, ordered pair run.
+  return out->EmitRun(e.inherit);
 }
 
 }  // namespace
 
 Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
                         const ElementSet& d, ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("StackTree: inputs from different PBiTrees");
-  }
-  if (!a.sorted_by_start || !d.sorted_by_start) {
-    return Status::InvalidArgument(
-        "StackTree requires both inputs sorted in document order");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("StackTree", a, d, /*require_sorted=*/true, &empty));
+  if (empty) return Status::OK();
 
   obs::ObsSpan merge_span(obs::Phase::kMerge);
-  HeapFile::Scanner a_scan(ctx->bm, a.file);
-  HeapFile::Scanner d_scan(ctx->bm, d.file);
-  ElementRecord a_rec, d_rec;
-  Status st;
-  bool a_live = a_scan.NextElement(&a_rec, &st);
-  PBITREE_RETURN_IF_ERROR(st);
-  bool d_live = d_scan.NextElement(&d_rec, &st);
-  PBITREE_RETURN_IF_ERROR(st);
+  HeapFile::BatchCursor a_cur(ctx->bm, a.file);
+  HeapFile::BatchCursor d_cur(ctx->bm, d.file);
+  PBITREE_RETURN_IF_ERROR(a_cur.status());
+  PBITREE_RETURN_IF_ERROR(d_cur.status());
+  PairBuffer out(sink, &ctx->stats.output_pairs);
 
   std::vector<AncEntry> stack;
 
@@ -132,35 +116,37 @@ Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
     while (!stack.empty() && EndOf(stack.back().anc) < start) {
       AncEntry e = std::move(stack.back());
       stack.pop_back();
-      PBITREE_RETURN_IF_ERROR(FlushAncEntry(ctx, std::move(e), &stack, sink));
+      PBITREE_RETURN_IF_ERROR(FlushAncEntry(std::move(e), &stack, &out));
     }
     return Status::OK();
   };
 
-  while (d_live && (a_live || !stack.empty())) {
-    if (a_live && ElementLess(a_rec, d_rec, SortOrder::kStartOrder)) {
-      PBITREE_RETURN_IF_ERROR(pop_below(StartOf(a_rec.code)));
-      stack.push_back(AncEntry{a_rec.code, {}, {}});
-      a_live = a_scan.NextElement(&a_rec, &st);
-      PBITREE_RETURN_IF_ERROR(st);
+  while (d_cur.live() && (a_cur.live() || !stack.empty())) {
+    if (a_cur.live() && ElementLess(a_cur.rec(), d_cur.rec(), SortOrder::kStartOrder)) {
+      const Code a_code = a_cur.rec().code;
+      PBITREE_RETURN_IF_ERROR(pop_below(StartOf(a_code)));
+      stack.push_back(AncEntry{a_code, {}, {}});
+      a_cur.Advance();
+      if (!a_cur.live()) PBITREE_RETURN_IF_ERROR(a_cur.status());
     } else {
-      PBITREE_RETURN_IF_ERROR(pop_below(StartOf(d_rec.code)));
+      const Code d_code = d_cur.rec().code;
+      PBITREE_RETURN_IF_ERROR(pop_below(StartOf(d_code)));
       for (AncEntry& e : stack) {
-        if (IsAncestor(e.anc, d_rec.code)) {
-          e.self_descendants.push_back(d_rec.code);
+        if (IsAncestor(e.anc, d_code)) {
+          e.self_descendants.push_back(d_code);
         }
       }
-      d_live = d_scan.NextElement(&d_rec, &st);
-      PBITREE_RETURN_IF_ERROR(st);
+      d_cur.Advance();
+      if (!d_cur.live()) PBITREE_RETURN_IF_ERROR(d_cur.status());
     }
   }
   // Close whatever is still open (deepest first).
   while (!stack.empty()) {
     AncEntry e = std::move(stack.back());
     stack.pop_back();
-    PBITREE_RETURN_IF_ERROR(FlushAncEntry(ctx, std::move(e), &stack, sink));
+    PBITREE_RETURN_IF_ERROR(FlushAncEntry(std::move(e), &stack, &out));
   }
-  return Status::OK();
+  return out.Flush();
 }
 
 }  // namespace pbitree

@@ -9,6 +9,7 @@
 
 #include "exec/partition_exec.h"
 #include "join/hash_equijoin.h"
+#include "join/validate.h"
 #include "obs/metrics.h"
 
 namespace pbitree {
@@ -53,20 +54,22 @@ Status SortedProbeJoin(JoinContext* ctx, const HeapFile& a_file,
   for (size_t i = 0; i < d_mem.size(); ++i) d_codes[i] = d_mem[i].code;
   std::sort(d_codes.begin(), d_codes.end());
 
+  PairBuffer out(sink, &ctx->stats.output_pairs);
   HeapFile::Scanner scan(ctx->bm, a_file);
-  ElementRecord rec;
-  Status st;
-  while (scan.NextElement(&rec, &st)) {
-    CodeInterval iv = SubtreeInterval(rec.code);
-    auto lo = std::lower_bound(d_codes.begin(), d_codes.end(), iv.lo);
-    auto hi = std::upper_bound(lo, d_codes.end(), iv.hi);
-    for (auto it = lo; it != hi; ++it) {
-      if (*it == rec.code) continue;  // the element itself, not a descendant
-      ++ctx->stats.output_pairs;
-      PBITREE_RETURN_IF_ERROR(sink->OnPair(rec.code, *it));
+  for (auto batch = scan.NextElementBatch(); !batch.empty();
+       batch = scan.NextElementBatch()) {
+    for (const ElementRecord& rec : batch) {
+      CodeInterval iv = SubtreeInterval(rec.code);
+      auto lo = std::lower_bound(d_codes.begin(), d_codes.end(), iv.lo);
+      auto hi = std::upper_bound(lo, d_codes.end(), iv.hi);
+      for (auto it = lo; it != hi; ++it) {
+        if (*it == rec.code) continue;  // the element itself, not a descendant
+        PBITREE_RETURN_IF_ERROR(out.Emit(rec.code, *it));
+      }
     }
   }
-  return st;
+  PBITREE_RETURN_IF_ERROR(scan.status());
+  return out.Flush();
 }
 
 /// Algorithm 6: D in memory -> sorted probe; otherwise MHCJ+Rollup
@@ -206,9 +209,9 @@ struct VpjRunner {
       obs::ObsSpan partition_span(obs::Phase::kPartition);
       Status st = [&]() -> Status {
       HeapFile::Scanner scan(ctx->bm, a_file);
-      ElementRecord rec;
-      Status st;
-      while (scan.NextElement(&rec, &st)) {
+      for (auto recs = scan.NextElementBatch(); !recs.empty();
+           recs = scan.NextElementBatch()) {
+       for (const ElementRecord& rec : recs) {
         int h = HeightOf(rec.code);
         uint64_t lo, hi;
         if (h <= h_cut) {
@@ -238,8 +241,15 @@ struct VpjRunner {
           if (hi > lo) parts[s].has_replicated_a = true;
         }
         if (hi > lo) ctx->stats.replicated_nodes += hi - lo;
+       }
       }
-      return st;
+      PBITREE_RETURN_IF_ERROR(scan.status());
+      // Close the A-side partitions explicitly: a failed tail-page
+      // write-back must fail the join, not vanish in a destructor.
+      for (auto& app : a_apps) {
+        if (app != nullptr) PBITREE_RETURN_IF_ERROR(app->Finish());
+      }
+      return Status::OK();
       }();
       a_apps.clear();  // unpin A tails before the D pass
       if (!st.ok()) return drop_partitions(nullptr, st);
@@ -248,9 +258,9 @@ struct VpjRunner {
       obs::ObsSpan partition_span(obs::Phase::kPartition);
       Status st = [&]() -> Status {
       HeapFile::Scanner scan(ctx->bm, d_file);
-      ElementRecord rec;
-      Status st;
-      while (scan.NextElement(&rec, &st)) {
+      for (auto recs = scan.NextElementBatch(); !recs.empty();
+           recs = scan.NextElementBatch()) {
+       for (const ElementRecord& rec : recs) {
         // Every result pair lies inside some ancestor's subtree, i.e.
         // the descendant's code falls in the A range — drop the rest
         // right here instead of purging their partitions a pass later.
@@ -269,8 +279,13 @@ struct VpjRunner {
           d_apps[s] = std::make_unique<HeapFile::Appender>(ctx->bm, &parts[s].d);
         }
         PBITREE_RETURN_IF_ERROR(d_apps[s]->AppendElement(rec));
+       }
       }
-      return st;
+      PBITREE_RETURN_IF_ERROR(scan.status());
+      for (auto& app : d_apps) {
+        if (app != nullptr) PBITREE_RETURN_IF_ERROR(app->Finish());
+      }
+      return Status::OK();
       }();
       d_apps.clear();
       if (!st.ok()) return drop_partitions(nullptr, st);
@@ -400,10 +415,10 @@ struct VpjRunner {
 
 Status Vpj(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
            ResultSink* sink, const VpjOptions& options) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("VPJ: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("VPJ", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   VpjRunner runner{ctx, a.spec, options, sink};
   // The ancestor set's range bounds every possible result pair; it
   // drives both the cut placement and the descendant pre-filter.

@@ -2,15 +2,17 @@
 
 #include <vector>
 
+#include "join/validate.h"
+
 namespace pbitree {
 
 Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
                    const XRTree& a_tree, const XRTree& d_tree,
                    ResultSink* sink) {
-  if (a.num_records() == 0 || d.num_records() == 0) return Status::OK();
-  if (a.spec != d.spec) {
-    return Status::InvalidArgument("XR-stack: inputs from different PBiTrees");
-  }
+  bool empty = false;
+  PBITREE_RETURN_IF_ERROR(
+      ValidateJoinInputs("XR-stack", a, d, /*require_sorted=*/false, &empty));
+  if (empty) return Status::OK();
   if (!a_tree.valid() || !d_tree.valid()) {
     return Status::InvalidArgument("XR-stack requires two XR-trees");
   }
@@ -19,6 +21,7 @@ Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
   XRTree::Cursor d_cur(ctx->bm, d_tree);
   PBITREE_RETURN_IF_ERROR(a_cur.SeekTo(0));
   PBITREE_RETURN_IF_ERROR(d_cur.SeekTo(0));
+  PairBuffer out(sink, &ctx->stats.output_pairs);
 
   std::vector<Code> stack;
 
@@ -82,13 +85,12 @@ Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
 
     for (Code anc : stack) {
       if (IsAncestor(anc, d_cur.rec().code)) {
-        ++ctx->stats.output_pairs;
-        PBITREE_RETURN_IF_ERROR(sink->OnPair(anc, d_cur.rec().code));
+        PBITREE_RETURN_IF_ERROR(out.Emit(anc, d_cur.rec().code));
       }
     }
     PBITREE_RETURN_IF_ERROR(d_cur.Advance());
   }
-  return Status::OK();
+  return out.Flush();
 }
 
 }  // namespace pbitree

@@ -48,13 +48,15 @@ Result<ElementSet> DistinctDescendants(BufferManager* bm,
   {
     HeapFile::Appender app(bm, &column);
     HeapFile::Scanner scan(bm, pair_file);
-    ResultPair pair;
-    Status st;
-    while (scan.NextPair(&pair, &st)) {
-      PBITREE_RETURN_IF_ERROR(
-          app.AppendElement(ElementRecord{pair.descendant_code, 0, 0}));
+    for (auto batch = scan.NextPairBatch(); !batch.empty();
+         batch = scan.NextPairBatch()) {
+      for (const ResultPair& pair : batch) {
+        PBITREE_RETURN_IF_ERROR(
+            app.AppendElement(ElementRecord{pair.descendant_code, 0, 0}));
+      }
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(scan.status());
+    PBITREE_RETURN_IF_ERROR(app.Finish());
   }
   auto sorted = ExternalSort(bm, column, work_pages, SortOrder::kCodeOrder);
   PBITREE_RETURN_IF_ERROR(column.Drop(bm));
@@ -64,16 +66,17 @@ Result<ElementSet> DistinctDescendants(BufferManager* bm,
                            ElementSetBuilder::Create(bm, spec));
   {
     HeapFile::Scanner scan(bm, *sorted);
-    ElementRecord rec;
-    Status st;
     Code last = kInvalidCode;
-    while (scan.NextElement(&rec, &st)) {
-      if (rec.code != last) {
-        PBITREE_RETURN_IF_ERROR(builder.Add(rec));
-        last = rec.code;
+    for (auto batch = scan.NextElementBatch(); !batch.empty();
+         batch = scan.NextElementBatch()) {
+      for (const ElementRecord& rec : batch) {
+        if (rec.code != last) {
+          PBITREE_RETURN_IF_ERROR(builder.Add(rec));
+          last = rec.code;
+        }
       }
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(scan.status());
   }
   PBITREE_RETURN_IF_ERROR(sorted->Drop(bm));
   return builder.Build();
@@ -111,9 +114,11 @@ Result<ElementSet> EvaluatePathQuery(BufferManager* bm, const DataTree& tree,
     {
       MaterializeSink sink(bm, &pairs.value());
       auto run = RunAuto(bm, current, *next, &sink, options);
-      sink.Finish();
+      Status fin = sink.Finish();
       if (run.ok() && stats != nullptr) stats->joins.push_back(*run);
-      join_status = run.ok() ? Status::OK() : run.status();
+      // A failed close means the pair file lost its tail page — as
+      // fatal as the join itself failing.
+      join_status = run.ok() ? fin : run.status();
     }
     Status drop_cur = current.file.Drop(bm);
     Status drop_next = next->file.Drop(bm);

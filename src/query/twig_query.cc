@@ -90,8 +90,8 @@ Result<ElementSet> SemijoinHavingDescendant(BufferManager* bm,
   {
     MaterializeSink sink(bm, &pairs);
     auto run = RunAuto(bm, candidates, needles, &sink, options);
-    sink.Finish();
-    join_status = run.ok() ? Status::OK() : run.status();
+    Status fin = sink.Finish();
+    join_status = run.ok() ? fin : run.status();
     if (run.ok() && stats != nullptr) ++stats->joins;
   }
   if (!join_status.ok()) {
@@ -192,8 +192,8 @@ Result<ElementSet> MatchSet(BufferManager* bm,
     {
       MaterializeSink sink(bm, &pairs);
       auto run = RunAuto(bm, current, filtered[i], &sink, options);
-      sink.Finish();
-      join_status = run.ok() ? Status::OK() : run.status();
+      Status fin = sink.Finish();
+      join_status = run.ok() ? fin : run.status();
       if (run.ok() && stats != nullptr) ++stats->joins;
     }
     current.file.Drop(bm);
@@ -231,13 +231,15 @@ Result<ElementSet> DistinctAncestors(BufferManager* bm,
   {
     HeapFile::Appender app(bm, &column);
     HeapFile::Scanner scan(bm, pair_file);
-    ResultPair pair;
-    Status st;
-    while (scan.NextPair(&pair, &st)) {
-      PBITREE_RETURN_IF_ERROR(
-          app.AppendElement(ElementRecord{pair.ancestor_code, 0, 0}));
+    for (auto batch = scan.NextPairBatch(); !batch.empty();
+         batch = scan.NextPairBatch()) {
+      for (const ResultPair& pair : batch) {
+        PBITREE_RETURN_IF_ERROR(
+            app.AppendElement(ElementRecord{pair.ancestor_code, 0, 0}));
+      }
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(scan.status());
+    PBITREE_RETURN_IF_ERROR(app.Finish());
   }
   auto sorted = ExternalSort(bm, column, work_pages, SortOrder::kCodeOrder);
   PBITREE_RETURN_IF_ERROR(column.Drop(bm));
@@ -247,16 +249,17 @@ Result<ElementSet> DistinctAncestors(BufferManager* bm,
                            ElementSetBuilder::Create(bm, spec));
   {
     HeapFile::Scanner scan(bm, *sorted);
-    ElementRecord rec;
-    Status st;
     Code last = kInvalidCode;
-    while (scan.NextElement(&rec, &st)) {
-      if (rec.code != last) {
-        PBITREE_RETURN_IF_ERROR(builder.Add(rec));
-        last = rec.code;
+    for (auto batch = scan.NextElementBatch(); !batch.empty();
+         batch = scan.NextElementBatch()) {
+      for (const ElementRecord& rec : batch) {
+        if (rec.code != last) {
+          PBITREE_RETURN_IF_ERROR(builder.Add(rec));
+          last = rec.code;
+        }
       }
     }
-    PBITREE_RETURN_IF_ERROR(st);
+    PBITREE_RETURN_IF_ERROR(scan.status());
   }
   PBITREE_RETURN_IF_ERROR(sorted->Drop(bm));
   return builder.Build();

@@ -5,6 +5,7 @@
 #include <future>
 #include <memory>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -34,10 +35,10 @@ Status SortAndWriteRun(BufferManager* bm, std::vector<ElementRecord>* buf,
   Status st;
   {
     HeapFile::Appender app(bm, &run);
-    for (const ElementRecord& r : *buf) {
-      st = app.AppendElement(r);
-      if (!st.ok()) break;
-    }
+    st = app.AppendElements(*buf);
+    // Explicit close: a failed tail-page write-back fails the run
+    // instead of disappearing in the destructor.
+    if (st.ok()) st = app.Finish();
   }
   if (!st.ok()) {
     run.Drop(bm);  // best effort: the append error is the one to report
@@ -61,15 +62,25 @@ Status GenerateRuns(BufferManager* bm, const HeapFile& input,
     buf.reserve(std::min<size_t>(run_capacity, 1 << 20));
 
     HeapFile::Scanner scan(bm, input);
-    ElementRecord rec;
-    Status st;
+    std::span<const ElementRecord> batch;
+    size_t off = 0;
     bool more = true;
     while (more) {
       buf.clear();
-      while (buf.size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
-        buf.push_back(rec);
+      while (buf.size() < run_capacity) {
+        if (off >= batch.size()) {
+          batch = scan.NextElementBatch();
+          off = 0;
+          if (batch.empty()) {
+            more = false;
+            break;
+          }
+        }
+        size_t take = std::min(run_capacity - buf.size(), batch.size() - off);
+        buf.insert(buf.end(), batch.begin() + off, batch.begin() + off + take);
+        off += take;
       }
-      PBITREE_RETURN_IF_ERROR(st);
+      PBITREE_RETURN_IF_ERROR(scan.status());
       if (buf.empty()) break;
       HeapFile run;
       PBITREE_RETURN_IF_ERROR(SortAndWriteRun(bm, &buf, order, &run));
@@ -91,18 +102,28 @@ Status GenerateRuns(BufferManager* bm, const HeapFile& input,
   std::deque<std::future<void>> inflight;
 
   HeapFile::Scanner scan(bm, input);
-  ElementRecord rec;
-  Status st;
+  std::span<const ElementRecord> batch;
+  size_t off = 0;
   bool more = true;
   while (more) {
     auto buf = std::make_shared<std::vector<ElementRecord>>();
     buf->reserve(run_capacity);
-    while (buf->size() < run_capacity && (more = scan.NextElement(&rec, &st))) {
-      buf->push_back(rec);
+    while (buf->size() < run_capacity) {
+      if (off >= batch.size()) {
+        batch = scan.NextElementBatch();
+        off = 0;
+        if (batch.empty()) {
+          more = false;
+          break;
+        }
+      }
+      size_t take = std::min(run_capacity - buf->size(), batch.size() - off);
+      buf->insert(buf->end(), batch.begin() + off, batch.begin() + off + take);
+      off += take;
     }
     // On a scan error fall through to the Wait below — returning here
     // would destroy the deques while in-flight tasks still write them.
-    if (!st.ok() || buf->empty()) break;
+    if (!scan.status().ok() || buf->empty()) break;
     chunk_runs.emplace_back();
     chunk_status.emplace_back();
     HeapFile* out = &chunk_runs.back();
@@ -117,7 +138,7 @@ Status GenerateRuns(BufferManager* bm, const HeapFile& input,
   }
   for (std::future<void>& f : inflight) pool->Wait(f);
 
-  Status result = st;
+  Status result = scan.status();
   for (size_t i = 0; i < chunk_runs.size(); ++i) {
     if (!chunk_status[i].ok() && result.ok()) result = chunk_status[i];
     // Completed runs are handed to the caller even on error, so its
@@ -130,17 +151,13 @@ Status GenerateRuns(BufferManager* bm, const HeapFile& input,
 /// Merges `inputs` into one run; drops the inputs afterwards.
 Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
                            SortOrder order) {
-  struct Cursor {
-    std::unique_ptr<HeapFile::Scanner> scan;
-    ElementRecord rec;
-  };
-  std::vector<Cursor> cursors;
+  std::vector<std::unique_ptr<HeapFile::BatchCursor>> cursors;
   cursors.reserve(inputs->size());
   Status st;
   // Contract: the inputs are consumed whatever happens — on error they
   // are dropped here so the caller never holds dangling temp files.
   auto fail = [&](Status keep) -> Status {
-    for (Cursor& c : cursors) c.scan.reset();  // release scan pins
+    for (auto& c : cursors) c.reset();  // release scan pins
     for (HeapFile& f : *inputs) {
       if (!f.valid()) continue;
       Status s = f.Drop(bm);
@@ -150,17 +167,18 @@ Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
     return keep;
   };
   for (HeapFile& f : *inputs) {
-    Cursor c;
-    c.scan = std::make_unique<HeapFile::Scanner>(bm, f);
-    if (c.scan->NextElement(&c.rec, &st)) {
-      cursors.push_back(std::move(c));
+    auto c = std::make_unique<HeapFile::BatchCursor>(bm, f);
+    if (!c->status().ok()) {
+      Status s = c->status();
+      c.reset();
+      return fail(s);
     }
-    if (!st.ok()) return fail(st);
+    if (c->live()) cursors.push_back(std::move(c));
   }
 
   auto greater = [order, &cursors](size_t a, size_t b) {
     // Min-heap on the comparator (priority_queue is a max-heap).
-    return ElementLess(cursors[b].rec, cursors[a].rec, order);
+    return ElementLess(cursors[b]->rec(), cursors[a]->rec(), order);
   };
   std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
   for (size_t i = 0; i < cursors.size(); ++i) heap.push(i);
@@ -173,20 +191,24 @@ Result<HeapFile> MergeRuns(BufferManager* bm, std::vector<HeapFile>* inputs,
     while (!heap.empty()) {
       size_t i = heap.top();
       heap.pop();
-      st = app.AppendElement(cursors[i].rec);
+      st = app.AppendElement(cursors[i]->rec());
       if (!st.ok()) break;
-      if (cursors[i].scan->NextElement(&cursors[i].rec, &st)) {
+      cursors[i]->Advance();
+      if (cursors[i]->live()) {
         heap.push(i);
+      } else if (!cursors[i]->status().ok()) {
+        st = cursors[i]->status();
+        break;
       }
-      if (!st.ok()) break;
     }
+    if (st.ok()) st = app.Finish();
   }
   if (!st.ok()) {
     Status keep = fail(st);
     out.Drop(bm);  // the half-merged output too
     return keep;
   }
-  for (Cursor& c : cursors) c.scan.reset();
+  for (auto& c : cursors) c.reset();
   Status drop_st;
   for (HeapFile& f : *inputs) {
     Status s = f.Drop(bm);
@@ -249,15 +271,17 @@ Result<HeapFile> ExternalSort(BufferManager* bm, const HeapFile& input,
 
 Result<bool> IsSorted(BufferManager* bm, const HeapFile& file, SortOrder order) {
   HeapFile::Scanner scan(bm, file);
-  ElementRecord prev, cur;
-  Status st;
+  ElementRecord prev;
   bool first = true;
-  while (scan.NextElement(&cur, &st)) {
-    if (!first && ElementLess(cur, prev, order)) return false;
-    prev = cur;
-    first = false;
+  for (auto batch = scan.NextElementBatch(); !batch.empty();
+       batch = scan.NextElementBatch()) {
+    for (const ElementRecord& cur : batch) {
+      if (!first && ElementLess(cur, prev, order)) return false;
+      prev = cur;
+      first = false;
+    }
   }
-  PBITREE_RETURN_IF_ERROR(st);
+  PBITREE_RETURN_IF_ERROR(scan.status());
   return true;
 }
 

@@ -37,7 +37,8 @@ Result<HeapFile> HeapFile::Attach(BufferManager* bm, PageId first_page) {
 
 Status HeapFile::Append(BufferManager* bm, const void* record) {
   Appender app(bm, this);
-  return app.Append(record);
+  PBITREE_RETURN_IF_ERROR(app.Append(record));
+  return app.Finish();
 }
 
 Status HeapFile::Drop(BufferManager* bm) {
@@ -98,36 +99,74 @@ Status HeapFile::Appender::Append(const void* record) {
   return Status::OK();
 }
 
-void HeapFile::Appender::Finish() {
+Status HeapFile::Appender::AppendBatch(const void* records, size_t n) {
+  const char* src = static_cast<const char*>(records);
+  while (n > 0) {
+    if (tail_ == nullptr) {
+      PBITREE_ASSIGN_OR_RETURN(Page * p, bm_->FetchPage(file_->last_page_));
+      tail_ = p;
+    }
+    uint16_t count = GetCount(tail_);
+    if (count >= kRecordsPerPage) {
+      PBITREE_ASSIGN_OR_RETURN(Page * np, bm_->NewPage());
+      SetNext(np, kInvalidPageId);
+      SetCount(np, 0);
+      SetNext(tail_, np->page_id());
+      PBITREE_RETURN_IF_ERROR(bm_->UnpinPage(tail_->page_id(), /*dirty=*/true));
+      tail_ = np;
+      file_->last_page_ = np->page_id();
+      file_->pages_.push_back(np->page_id());
+      ++file_->num_pages_;
+      count = 0;
+    }
+    const size_t room = kRecordsPerPage - count;
+    const size_t m = n < room ? n : room;
+    std::memcpy(RecordAt(tail_, count), src, m * kRecordSize);
+    SetCount(tail_, static_cast<uint16_t>(count + m));
+    file_->num_records_ += m;
+    src += m * kRecordSize;
+    n -= m;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Appender::Finish() {
   if (tail_ != nullptr) {
-    bm_->UnpinPage(tail_->page_id(), /*dirty=*/true);
+    Status st = bm_->UnpinPage(tail_->page_id(), /*dirty=*/true);
+    if (status_.ok()) status_ = st;
     tail_ = nullptr;
+  }
+  return status_;
+}
+
+size_t HeapFile::Scanner::FillPage() {
+  while (true) {
+    if (cur_ != nullptr) {
+      if (cur_index_ < cur_count_) return cur_count_ - cur_index_;
+      Status st = bm_->UnpinPage(cur_->page_id(), false);
+      if (status_.ok()) status_ = st;
+      cur_ = nullptr;
+    }
+    if (!status_.ok() || next_page_ == kInvalidPageId) return 0;
+    auto res = bm_->FetchPage(next_page_);
+    if (!res.ok()) {
+      status_ = res.status();
+      return 0;
+    }
+    cur_ = res.value();
+    cur_index_ = 0;
+    cur_count_ = GetCount(cur_);
+    next_page_ = GetNext(cur_);
   }
 }
 
 bool HeapFile::Scanner::Next(void* out, Status* status) {
-  if (status != nullptr) *status = Status::OK();
-  while (true) {
-    if (cur_ == nullptr) {
-      if (next_page_ == kInvalidPageId) return false;
-      auto res = bm_->FetchPage(next_page_);
-      if (!res.ok()) {
-        if (status != nullptr) *status = res.status();
-        return false;
-      }
-      cur_ = res.value();
-      cur_index_ = 0;
-      cur_count_ = GetCount(cur_);
-      next_page_ = GetNext(cur_);
-    }
-    if (cur_index_ < cur_count_) {
-      std::memcpy(out, RecordAt(cur_, cur_index_), kRecordSize);
-      ++cur_index_;
-      return true;
-    }
-    bm_->UnpinPage(cur_->page_id(), false);
-    cur_ = nullptr;
-  }
+  size_t avail = FillPage();
+  if (status != nullptr) *status = status_;
+  if (avail == 0) return false;
+  std::memcpy(out, RecordAt(cur_, cur_index_), kRecordSize);
+  ++cur_index_;
+  return true;
 }
 
 void HeapFile::Scanner::Close() {

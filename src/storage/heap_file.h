@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
@@ -92,18 +94,37 @@ class HeapFile {
     Status AppendElement(const ElementRecord& rec) { return Append(&rec); }
     Status AppendPair(const ResultPair& rec) { return Append(&rec); }
 
-    /// Unpins the tail page. Called automatically on destruction.
-    void Finish();
+    /// Appends `n` contiguous 16-byte records, copying page-sized
+    /// chunks at a time. Produces exactly the page layout `n` single
+    /// Append calls would (same record placement, same chained pages).
+    Status AppendBatch(const void* records, size_t n);
+    Status AppendElements(std::span<const ElementRecord> recs) {
+      return AppendBatch(recs.data(), recs.size());
+    }
+    Status AppendPairs(std::span<const ResultPair> recs) {
+      return AppendBatch(recs.data(), recs.size());
+    }
+
+    /// Unpins the tail page, making the appended records safe to read.
+    /// Returns the first error the appender latched (a failed tail
+    /// unpin would otherwise vanish on the destructor path). Idempotent:
+    /// later calls return the same latched status. Called automatically
+    /// on destruction, where the result is necessarily dropped — call
+    /// it explicitly wherever the error must propagate.
+    Status Finish();
 
    private:
     BufferManager* bm_;
     HeapFile* file_;
     Page* tail_ = nullptr;
+    Status status_;
   };
 
   /// \brief Forward scanner over all records of the file.
   ///
-  /// Holds at most one page pinned at a time.
+  /// Holds at most one page pinned at a time. The first I/O error ends
+  /// the scan and is latched in status(); every Next* overload also
+  /// reports it through the optional `status` out-parameter.
   class Scanner {
    public:
     Scanner(BufferManager* bm, const HeapFile& file)
@@ -113,8 +134,9 @@ class HeapFile {
     Scanner(const Scanner&) = delete;
     Scanner& operator=(const Scanner&) = delete;
 
-    /// Copies the next record into `out`; returns false at end of file.
-    /// `status` (optional) receives any I/O error.
+    /// Copies the next record into `out`; returns false at end of file
+    /// or on error. `status` (optional) receives the scan status; the
+    /// same information is always available via status().
     bool Next(void* out, Status* status = nullptr);
 
     bool NextElement(ElementRecord* out, Status* status = nullptr) {
@@ -124,14 +146,83 @@ class HeapFile {
       return Next(out, status);
     }
 
+    /// Zero-copy batch scan: returns a view over the not-yet-consumed
+    /// records of the current page (fetching the next chained page when
+    /// the current one is exhausted) and marks them consumed. The span
+    /// aliases the pinned buffer-pool frame and is invalidated by the
+    /// next NextBatch/Next/Close call — consume it before advancing.
+    /// Empty span at end of file or on error (check status()).
+    std::span<const ElementRecord> NextElementBatch() {
+      return NextBatch<ElementRecord>();
+    }
+    std::span<const ResultPair> NextPairBatch() {
+      return NextBatch<ResultPair>();
+    }
+
+    /// First error this scan hit; OK while none. Latched: once set, the
+    /// scan is over and every further call returns end-of-file.
+    const Status& status() const { return status_; }
+
     void Close();
 
    private:
+    template <typename Record>
+    std::span<const Record> NextBatch() {
+      static_assert(std::is_trivially_copyable_v<Record> &&
+                    sizeof(Record) == kRecordSize);
+      size_t n = FillPage();
+      if (n == 0) return {};
+      // In-place view of the page's record area: records are written
+      // with memcpy (implicit-lifetime types), the header keeps them
+      // 8-byte aligned (see Page::data_), so the cast is sound.
+      const Record* base =
+          reinterpret_cast<const Record*>(RecordAt(cur_, cur_index_));
+      cur_index_ = cur_count_;
+      return {base, n};
+    }
+
+    /// Ensures the current page has unread records, chaining to the
+    /// next page as needed. Returns how many are available (0 at end of
+    /// file or after an error was latched).
+    size_t FillPage();
+
     BufferManager* bm_;
     PageId next_page_;
     Page* cur_ = nullptr;
     size_t cur_index_ = 0;
     size_t cur_count_ = 0;
+    Status status_;
+  };
+
+  /// \brief Record-at-a-time cursor layered on the batch scan: merge
+  /// loops (stack-tree, external sort) read rec() straight from the
+  /// pinned page with no per-record copy or status round-trip.
+  ///
+  /// rec() is valid until the next Advance()/destruction. A cursor that
+  /// went dead (live() == false) either hit end of file (status() OK)
+  /// or an I/O error (status() latched).
+  class BatchCursor {
+   public:
+    BatchCursor(BufferManager* bm, const HeapFile& file) : scan_(bm, file) {
+      batch_ = scan_.NextElementBatch();
+    }
+
+    bool live() const { return index_ < batch_.size(); }
+    const ElementRecord& rec() const { return batch_[index_]; }
+
+    void Advance() {
+      if (++index_ >= batch_.size()) {
+        batch_ = scan_.NextElementBatch();
+        index_ = 0;
+      }
+    }
+
+    const Status& status() const { return scan_.status(); }
+
+   private:
+    Scanner scan_;
+    std::span<const ElementRecord> batch_;
+    size_t index_ = 0;
   };
 
  private:
@@ -164,6 +255,11 @@ class HeapFile {
   uint64_t num_pages_ = 0;
   std::vector<PageId> pages_;  // directory of all pages, in chain order
 };
+
+// The zero-copy batch view relies on record rows starting at an
+// 8-byte-aligned offset inside the (8-byte-aligned) page frame.
+static_assert(HeapFile::kHeaderSize % alignof(ElementRecord) == 0);
+static_assert(HeapFile::kHeaderSize % alignof(ResultPair) == 0);
 
 }  // namespace pbitree
 

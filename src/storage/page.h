@@ -46,7 +46,10 @@ class Page {
  private:
   friend class BufferManager;
 
-  char data_[kPageSize];
+  /// 8-byte aligned so fixed-record overlays (16-byte heap-file
+  /// records at the 8-byte header offset) can be viewed in place by
+  /// the zero-copy batch scan API.
+  alignas(8) char data_[kPageSize];
   PageId page_id_;
   int pin_count_;
   bool is_dirty_;

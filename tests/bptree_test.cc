@@ -33,7 +33,7 @@ class BPTreeTest : public ::testing::TestWithParam<int> {
     for (uint64_t c : codes) {
       EXPECT_TRUE(app.AppendElement(ElementRecord{c, 0, 0}).ok());
     }
-    app.Finish();
+    EXPECT_TRUE(app.Finish().ok());
     return *file;
   }
 
@@ -258,6 +258,7 @@ TEST_F(BPTreeSingleTest, RemoveAcrossDuplicateRunSpanningLeaves) {
   ElementRecord rec;
   std::set<uint32_t> tags;
   while (scan.Next(&rec)) tags.insert(rec.tag);
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
   EXPECT_EQ(tags.size(), 499u);
   EXPECT_EQ(tags.count(377), 0u);
 }

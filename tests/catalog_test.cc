@@ -29,6 +29,7 @@ std::vector<Code> ReadCodes(BufferManager* bm, const ElementSet& set) {
   HeapFile::Scanner scan(bm, set.file);
   ElementRecord rec;
   while (scan.NextElement(&rec)) out.push_back(rec.code);
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
   return out;
 }
 

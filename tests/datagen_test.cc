@@ -87,6 +87,8 @@ TEST_F(DatagenTest, SyntheticIsDeterministicPerSeed) {
     EXPECT_EQ(r1.code, r2.code);
   }
   EXPECT_FALSE(s2.NextElement(&r2));
+  EXPECT_TRUE(s1.status().ok()) << s1.status().ToString();
+  EXPECT_TRUE(s2.status().ok()) << s2.status().ToString();
 }
 
 TEST_F(DatagenTest, SyntheticRejectsOvercrowdedLevels) {

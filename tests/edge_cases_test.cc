@@ -141,6 +141,7 @@ TEST_F(EdgeCaseTest, PurgeAllEmptiesThePoolAndKeepsData) {
   ElementRecord rec;
   uint64_t n = 0;
   while (scan.NextElement(&rec)) ++n;
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
   EXPECT_EQ(n, 1000u);
   EXPECT_EQ(disk_->stats().page_reads - reads_before, file->num_pages());
 }

@@ -120,7 +120,7 @@ TEST_F(ElementSetTest, MaterializeSinkWritesPairs) {
     MaterializeSink sink(bm_.get(), &out.value());
     ASSERT_TRUE(sink.OnPair(4, 1).ok());
     ASSERT_TRUE(sink.OnPair(4, 3).ok());
-    sink.Finish();
+    ASSERT_TRUE(sink.Finish().ok());
   }
   HeapFile::Scanner scan(bm_.get(), *out);
   ResultPair pair;
@@ -129,6 +129,7 @@ TEST_F(ElementSetTest, MaterializeSinkWritesPairs) {
   ASSERT_TRUE(scan.NextPair(&pair));
   EXPECT_EQ(pair, (ResultPair{4, 3}));
   EXPECT_FALSE(scan.NextPair(&pair));
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
 }
 
 }  // namespace

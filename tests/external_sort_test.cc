@@ -35,7 +35,7 @@ class ExternalSortTest : public ::testing::TestWithParam<SortCase> {
     for (Code c : codes) {
       EXPECT_TRUE(app.AppendElement(ElementRecord{c, 0, 0}).ok());
     }
-    app.Finish();
+    EXPECT_TRUE(app.Finish().ok());
     return *file;
   }
 
@@ -44,6 +44,7 @@ class ExternalSortTest : public ::testing::TestWithParam<SortCase> {
     HeapFile::Scanner scan(bm_.get(), file);
     ElementRecord rec;
     while (scan.NextElement(&rec)) out.push_back(rec.code);
+    EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
     return out;
   }
 

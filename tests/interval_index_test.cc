@@ -48,7 +48,7 @@ class IntervalIndexTest : public ::testing::TestWithParam<int> {
     for (Code c : codes) {
       EXPECT_TRUE(app.AppendElement(ElementRecord{c, 0, 0}).ok());
     }
-    app.Finish();
+    EXPECT_TRUE(app.Finish().ok());
     return *file;
   }
 

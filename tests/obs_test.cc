@@ -243,7 +243,7 @@ class ObsIoAttributionTest : public ::testing::Test {
     for (uint64_t i = 0; i < records; ++i) {
       EXPECT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
     }
-    app.Finish();
+    EXPECT_TRUE(app.Finish().ok());
     return *file;
   }
 
@@ -257,6 +257,7 @@ class ObsIoAttributionTest : public ::testing::Test {
     ElementRecord rec;
     uint64_t n = 0;
     while (scan.NextElement(&rec)) ++n;
+    EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
     EXPECT_GT(n, 0u);
     return reg.Snapshot().counter(Counter::kPageReads);
   }

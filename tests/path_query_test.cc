@@ -90,6 +90,7 @@ class PathQueryTest : public ::testing::Test {
     HeapFile::Scanner scan(bm_.get(), result->file);
     ElementRecord rec;
     while (scan.NextElement(&rec)) got.insert(rec.code);
+    EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
     EXPECT_EQ(got, BruteForce(tree, q->steps)) << text;
     EXPECT_EQ(stats.final_count, got.size());
     EXPECT_EQ(stats.joins.size(), q->steps.size() - 1);

@@ -281,6 +281,7 @@ TEST_F(HeapFileTest, EmptyFileScansNothing) {
   HeapFile::Scanner scan(bm_.get(), *file);
   ElementRecord rec;
   EXPECT_FALSE(scan.NextElement(&rec));
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
 }
 
 TEST_F(HeapFileTest, DropFreesAllPages) {
@@ -322,6 +323,7 @@ TEST_F(HeapFileTest, ConcatPreservesAllRecordsInOrder) {
   ElementRecord rec;
   std::vector<uint64_t> codes;
   while (scan.NextElement(&rec)) codes.push_back(rec.code);
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
   ASSERT_EQ(codes.size(), n1 + n2);
   EXPECT_EQ(codes.front(), 1u);
   EXPECT_EQ(codes[n1 - 1], n1);
@@ -343,6 +345,7 @@ TEST_F(HeapFileTest, AppendAfterConcatGoesToTheNewTail) {
   ElementRecord rec;
   std::vector<uint64_t> codes;
   while (scan.NextElement(&rec)) codes.push_back(rec.code);
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
   EXPECT_EQ(codes, (std::vector<uint64_t>{1, 2, 3}));
 }
 
@@ -361,10 +364,177 @@ TEST_F(HeapFileTest, ScannerCountsIOAgainstTheBufferPool) {
   ElementRecord rec;
   while (scan.NextElement(&rec)) {
   }
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
   uint64_t reads = disk_->stats().page_reads - reads_before;
   // 41 pages, pool of 16: most pages must come from disk.
   EXPECT_GE(reads, file->num_pages() - 16);
   EXPECT_LE(reads, file->num_pages());
+}
+
+// ---- Zero-copy batch scan.
+
+TEST_F(HeapFileTest, BatchScanReturnsOneSpanPerPage) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  const uint64_t n = HeapFile::kRecordsPerPage * 2 + 17;  // partial tail page
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  HeapFile::Scanner scan(bm_.get(), *file);
+  std::vector<size_t> sizes;
+  uint64_t next_code = 1;
+  for (auto batch = scan.NextElementBatch(); !batch.empty();
+       batch = scan.NextElementBatch()) {
+    sizes.push_back(batch.size());
+    for (const ElementRecord& rec : batch) EXPECT_EQ(rec.code, next_code++);
+  }
+  EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
+  EXPECT_EQ(next_code, n + 1);
+  // Full pages yield full spans; the tail page yields the remainder.
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], HeapFile::kRecordsPerPage);
+  EXPECT_EQ(sizes[1], HeapFile::kRecordsPerPage);
+  EXPECT_EQ(sizes[2], 17u);
+  // Past end of file the scan stays empty and healthy.
+  EXPECT_TRUE(scan.NextElementBatch().empty());
+  EXPECT_TRUE(scan.status().ok());
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(HeapFileTest, BatchScanOfEmptyFileIsEmptyAndOk) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  HeapFile::Scanner scan(bm_.get(), *file);
+  EXPECT_TRUE(scan.NextElementBatch().empty());
+  EXPECT_TRUE(scan.NextElementBatch().empty());
+  EXPECT_TRUE(scan.status().ok());
+}
+
+TEST_F(HeapFileTest, BatchScanInterleavesWithRecordScan) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  const uint64_t n = HeapFile::kRecordsPerPage + 10;
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  HeapFile::Scanner scan(bm_.get(), *file);
+  // Consume 3 records one at a time; the next batch must hold exactly
+  // the rest of the first page.
+  ElementRecord rec;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(scan.NextElement(&rec));
+    EXPECT_EQ(rec.code, static_cast<uint64_t>(i + 1));
+  }
+  auto batch = scan.NextElementBatch();
+  ASSERT_EQ(batch.size(), HeapFile::kRecordsPerPage - 3);
+  EXPECT_EQ(batch.front().code, 4u);
+  EXPECT_EQ(batch.back().code, HeapFile::kRecordsPerPage);
+  // Back to record-at-a-time across the page boundary.
+  ASSERT_TRUE(scan.NextElement(&rec));
+  EXPECT_EQ(rec.code, HeapFile::kRecordsPerPage + 1);
+  auto tail = scan.NextElementBatch();
+  ASSERT_EQ(tail.size(), 9u);
+  EXPECT_EQ(tail.back().code, n);
+  EXPECT_TRUE(scan.NextElementBatch().empty());
+  EXPECT_TRUE(scan.status().ok());
+}
+
+TEST_F(HeapFileTest, BatchSpanIsInvalidatedOnlyByTheNextScannerCall) {
+  // Contract test: the span stays valid (same pinned frame) until the
+  // scanner advances; after advancing, the new span is a different page.
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  const uint64_t n = HeapFile::kRecordsPerPage * 2;
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  HeapFile::Scanner scan(bm_.get(), *file);
+  auto first = scan.NextElementBatch();
+  ASSERT_EQ(first.size(), HeapFile::kRecordsPerPage);
+  // While the span is live its page stays pinned.
+  EXPECT_EQ(bm_->PinnedFrames(), 1u);
+  ElementRecord copy = first.front();
+  EXPECT_EQ(copy.code, 1u);
+  auto second = scan.NextElementBatch();
+  ASSERT_EQ(second.size(), HeapFile::kRecordsPerPage);
+  EXPECT_NE(first.data(), second.data());
+  EXPECT_EQ(second.front().code, HeapFile::kRecordsPerPage + 1);
+  scan.Close();
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(HeapFileTest, AppendBatchMatchesSingleAppendLayout) {
+  const size_t n = HeapFile::kRecordsPerPage * 3 + 41;
+  std::vector<ElementRecord> recs;
+  for (size_t i = 0; i < n; ++i) recs.push_back(ElementRecord{i + 1, 7, 9});
+
+  auto one = HeapFile::Create(bm_.get());
+  auto bulk = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(one.ok() && bulk.ok());
+  {
+    HeapFile::Appender app(bm_.get(), &one.value());
+    for (const ElementRecord& r : recs) {
+      ASSERT_TRUE(app.AppendElement(r).ok());
+    }
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  {
+    // Split the bulk append across a couple of calls so chunks start
+    // mid-page too.
+    HeapFile::Appender app(bm_.get(), &bulk.value());
+    std::span<const ElementRecord> all(recs);
+    ASSERT_TRUE(app.AppendElements(all.subspan(0, 100)).ok());
+    ASSERT_TRUE(app.AppendElements(all.subspan(100)).ok());
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  EXPECT_EQ(one->num_records(), bulk->num_records());
+  EXPECT_EQ(one->num_pages(), bulk->num_pages());
+  // Same records at the same page offsets: batch spans must agree
+  // page for page.
+  HeapFile::Scanner s1(bm_.get(), *one), s2(bm_.get(), *bulk);
+  for (;;) {
+    auto b1 = s1.NextElementBatch();
+    auto b2 = s2.NextElementBatch();
+    ASSERT_EQ(b1.size(), b2.size());
+    if (b1.empty()) break;
+    EXPECT_TRUE(std::equal(b1.begin(), b1.end(), b2.begin()));
+  }
+  EXPECT_TRUE(s1.status().ok());
+  EXPECT_TRUE(s2.status().ok());
+}
+
+TEST_F(HeapFileTest, BatchCursorVisitsEveryRecordInOrder) {
+  auto file = HeapFile::Create(bm_.get());
+  ASSERT_TRUE(file.ok());
+  const uint64_t n = HeapFile::kRecordsPerPage * 2 + 3;
+  {
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  uint64_t expect = 1;
+  for (HeapFile::BatchCursor cur(bm_.get(), *file); cur.live(); cur.Advance()) {
+    EXPECT_EQ(cur.rec().code, expect++);
+  }
+  EXPECT_EQ(expect, n + 1);
+  HeapFile::BatchCursor done(bm_.get(), *file);
+  ASSERT_TRUE(done.live());
+  EXPECT_TRUE(done.status().ok());
+  EXPECT_EQ(bm_->PinnedFrames(), 1u);  // cursor holds its current page
 }
 
 }  // namespace

@@ -151,6 +151,7 @@ class TwigQueryTest : public ::testing::Test {
     HeapFile::Scanner scan(bm_.get(), result->file);
     ElementRecord rec;
     while (scan.NextElement(&rec)) got.insert(rec.code);
+    EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
     EXPECT_EQ(got, BruteForce(tree, *q)) << text;
     EXPECT_EQ(stats.final_count, got.size());
     ASSERT_TRUE(result->file.Drop(bm_.get()).ok());

@@ -54,7 +54,7 @@ class XRTreeTest : public ::testing::TestWithParam<int> {
     for (Code c : codes) {
       EXPECT_TRUE(app.AppendElement(ElementRecord{c, 0, 0}).ok());
     }
-    app.Finish();
+    EXPECT_TRUE(app.Finish().ok());
     return *file;
   }
 
