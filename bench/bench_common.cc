@@ -1,8 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "datagen/synthetic.h"
 
@@ -40,25 +45,50 @@ namespace {
 /// operation, appended as a line (JSONL). Key set and order are fixed
 /// by RunResult + MetricsSnapshot::ToJson, so downstream tooling (and
 /// the CI determinism check) can diff runs line by line.
+///
+/// Several bench processes may share one sink file (the CI smoke job
+/// runs them concurrently), so each record goes out as exactly one
+/// write(2) on an O_APPEND descriptor: POSIX appends are atomic per
+/// write, which keeps lines whole — no interleaved partial records —
+/// where stdio's buffered fprintf could flush a record in pieces.
 void MaybeDumpMetrics(const char* op, const RunResult& r) {
   static const char* path = std::getenv("PBITREE_METRICS_JSON");
   if (path == nullptr || *path == '\0') return;
-  std::FILE* f = std::fopen(path, "a");
-  if (f == nullptr) {
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"op\":\"%s\",\"algorithm\":\"%s\",\"page_reads\":%llu,"
+                "\"page_writes\":%llu,\"output_pairs\":%llu,"
+                "\"wall_seconds\":%.6f,\"metrics\":",
+                op, AlgorithmName(r.algorithm),
+                static_cast<unsigned long long>(r.page_reads),
+                static_cast<unsigned long long>(r.page_writes),
+                static_cast<unsigned long long>(r.output_pairs),
+                r.wall_seconds);
+  std::string line = head;
+  line += r.metrics.ToJson();
+  line += "}\n";
+
+  int fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
     std::fprintf(stderr, "warning: cannot open PBITREE_METRICS_JSON file %s\n",
                  path);
     return;
   }
-  std::fprintf(f,
-               "{\"op\":\"%s\",\"algorithm\":\"%s\",\"page_reads\":%llu,"
-               "\"page_writes\":%llu,\"output_pairs\":%llu,"
-               "\"wall_seconds\":%.6f,\"metrics\":%s}\n",
-               op, AlgorithmName(r.algorithm),
-               static_cast<unsigned long long>(r.page_reads),
-               static_cast<unsigned long long>(r.page_writes),
-               static_cast<unsigned long long>(r.output_pairs),
-               r.wall_seconds, r.metrics.ToJson().c_str());
-  std::fclose(f);
+  const char* p = line.data();
+  size_t n = line.size();
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "warning: PBITREE_METRICS_JSON write failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  ::close(fd);
 }
 
 }  // namespace

@@ -24,6 +24,21 @@ const char* AlgorithmName(Algorithm alg) {
   return "?";
 }
 
+bool ParseAlgorithm(std::string_view name, Algorithm* out) {
+  static constexpr Algorithm kAll[] = {
+      Algorithm::kShcj,   Algorithm::kMhcj,      Algorithm::kMhcjRollup,
+      Algorithm::kVpj,    Algorithm::kInljn,     Algorithm::kStackTree,
+      Algorithm::kMpmgjn, Algorithm::kAdb,
+  };
+  for (Algorithm alg : kAll) {
+    if (name == AlgorithmName(alg)) {
+      *out = alg;
+      return true;
+    }
+  }
+  return false;
+}
+
 Algorithm ChooseAlgorithm(const InputProperties& a, const InputProperties& d,
                           bool ancestor_single_height) {
   const bool indexed = a.indexed && d.indexed;

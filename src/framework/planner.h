@@ -2,6 +2,7 @@
 #define PBITREE_FRAMEWORK_PLANNER_H_
 
 #include <string>
+#include <string_view>
 
 namespace pbitree {
 
@@ -18,6 +19,11 @@ enum class Algorithm {
 };
 
 const char* AlgorithmName(Algorithm alg);
+
+/// Reverse of AlgorithmName (exact, case-sensitive — the wire protocol
+/// of the serve layer uses these names). False when `name` matches no
+/// algorithm.
+bool ParseAlgorithm(std::string_view name, Algorithm* out);
 
 /// Access-path properties of a join input, as the optimizer would see
 /// them (Table 1's row labels).

@@ -214,10 +214,18 @@ StatusOr<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
   obs::MetricsSnapshot before = registry->Snapshot();
   Timer timer;
 
-  ExecContext exec(options.threads);
-  JoinContext ctx(bm, options.work_pages, &exec);
+  // A caller-provided shared context (the serve daemon's pool) is
+  // reused so concurrent runs share one set of workers; otherwise the
+  // run owns a private context sized by options.threads.
+  std::optional<ExecContext> local_exec;
+  ExecContext* exec = options.shared_exec;
+  if (exec == nullptr) {
+    local_exec.emplace(options.threads);
+    exec = &local_exec.value();
+  }
+  JoinContext ctx(bm, options.work_pages, exec);
   PBITREE_RETURN_IF_ERROR(Dispatch(alg, &ctx, a, d, sink, options));
-  {
+  if (options.flush_pool) {
     // Force dirty pages out so writes are charged to this run.
     obs::ObsSpan flush_span(obs::Phase::kFlush);
     PBITREE_RETURN_IF_ERROR(bm->FlushAll());

@@ -17,6 +17,8 @@
 
 namespace pbitree {
 
+class ExecContext;
+
 /// \brief Pre-existing access paths a run may use, grouped so call
 /// sites pass one value instead of four loose pointers.
 ///
@@ -52,6 +54,21 @@ struct RunOptions {
   /// result *sets* are unchanged (pairs replay in partition order) but
   /// I/O counts may differ (per-worker budgets change partition fan-out).
   size_t threads = 1;
+
+  /// Borrowed execution context shared across runs — the serve daemon's
+  /// worker pool. When set, `threads` is ignored and the run schedules
+  /// its partition tasks on this context, so N concurrent queries share
+  /// one pool instead of each spawning their own (no thread
+  /// oversubscription). The caller keeps ownership and must keep the
+  /// context alive for the duration of the run.
+  ExecContext* shared_exec = nullptr;
+
+  /// Flush dirty pool pages after the run so their writes are charged
+  /// to it — the measurement protocol of the benchmarks. The serve
+  /// daemon disables this: FlushAll is a pool-wide phase operation that
+  /// must not run while concurrent queries hold pins, and the daemon's
+  /// durability point is the shutdown Sync barrier instead.
+  bool flush_pool = true;
 
   /// Per-page simulated disk latency in milliseconds, added to the wall
   /// time to produce `simulated_seconds`. The paper's numbers are

@@ -38,6 +38,9 @@ const char* CounterName(Counter c) {
     case Counter::kIoRetries: return "io_retries";
     case Counter::kIoChecksumFailures: return "io_checksum_failures";
     case Counter::kIoFaultsInjected: return "io_faults_injected";
+    case Counter::kServeQueries: return "serve_queries";
+    case Counter::kServeRejected: return "serve_rejected";
+    case Counter::kCatalogLoads: return "catalog_loads";
   }
   return "unknown_counter";
 }
@@ -46,6 +49,7 @@ const char* GaugeName(Gauge g) {
   switch (g) {
     case Gauge::kPoolQueueDepth: return "pool_queue_depth_max";
     case Gauge::kJoinRecursionDepth: return "join_recursion_depth_max";
+    case Gauge::kServeQueueDepth: return "serve_queue_depth_max";
   }
   return "unknown_gauge";
 }
@@ -67,6 +71,8 @@ const char* LatencyName(Latency l) {
   switch (l) {
     case Latency::kIoWait: return "io_wait";
     case Latency::kLatchWait: return "latch_wait";
+    case Latency::kServeQueueWait: return "serve_queue_wait";
+    case Latency::kServeQuery: return "serve_query";
   }
   return "unknown_latency";
 }

@@ -68,17 +68,23 @@ enum class Counter : uint32_t {
   kIoRetries,           // extra backend attempts beyond the first
   kIoChecksumFailures,  // page reads rejected by CRC32C verification
   kIoFaultsInjected,    // faults a FaultInjectingBackend delivered
+
+  // Serving layer (see serve/server.h).
+  kServeQueries,   // queries admitted and executed by the daemon
+  kServeRejected,  // queries refused by admission control (queue full)
+  kCatalogLoads,   // Catalog::Load calls — a warm server stays at 1
 };
 inline constexpr size_t kNumCounters =
-    static_cast<size_t>(Counter::kIoFaultsInjected) + 1;
+    static_cast<size_t>(Counter::kCatalogLoads) + 1;
 
 /// High-water marks, merged by max across shards and over time.
 enum class Gauge : uint32_t {
   kPoolQueueDepth = 0,
   kJoinRecursionDepth,
+  kServeQueueDepth,  // admission-queue high-water mark
 };
 inline constexpr size_t kNumGauges =
-    static_cast<size_t>(Gauge::kJoinRecursionDepth) + 1;
+    static_cast<size_t>(Gauge::kServeQueueDepth) + 1;
 
 /// Phases an ObsSpan can be scoped to. Totals sum across workers (a
 /// CPU-time-like aggregate), max is the longest single span (the
@@ -96,11 +102,13 @@ inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kReplay) + 1;
 
 /// Latency histogram kinds (log2-bucketed nanoseconds).
 enum class Latency : uint32_t {
-  kIoWait = 0,    // waits on the buffer pool's in-flight-I/O condition
-  kLatchWait,     // buffer-pool latch acquisition on the fetch path
+  kIoWait = 0,      // waits on the buffer pool's in-flight-I/O condition
+  kLatchWait,       // buffer-pool latch acquisition on the fetch path
+  kServeQueueWait,  // time a query spent queued behind admission control
+  kServeQuery,      // end-to-end per-query service time (p50/p99 source)
 };
 inline constexpr size_t kNumLatencies =
-    static_cast<size_t>(Latency::kLatchWait) + 1;
+    static_cast<size_t>(Latency::kServeQuery) + 1;
 
 /// Log2 nanosecond buckets: bucket 0 holds [0, 1) us-ish (0 or 1 ns),
 /// bucket i holds durations whose bit width is i. 48 buckets cover

@@ -1,0 +1,68 @@
+#include "serve/admission.h"
+
+#include "obs/metrics.h"
+
+namespace pbitree {
+namespace serve {
+
+Status AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Status::Cancelled("server is shutting down");
+  if (in_flight_ < max_concurrent_ && queued_ == 0) {
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (queued_ >= max_queued_) {
+    obs::Count(obs::Counter::kServeRejected);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(in_flight_) +
+        " queries in flight, " + std::to_string(queued_) + " queued)");
+  }
+  const uint64_t ticket = next_ticket_++;
+  ++queued_;
+  obs::GaugeMax(obs::Gauge::kServeQueueDepth, queued_);
+  obs::LatencyTimer wait(obs::Latency::kServeQueueWait);
+  cv_.wait(lock, [&] {
+    return closed_ ||
+           (serving_ticket_ == ticket && in_flight_ < max_concurrent_);
+  });
+  --queued_;
+  if (closed_) {
+    cv_.notify_all();  // let the next waiter observe closed_ too
+    return Status::Cancelled("server is shutting down");
+  }
+  ++serving_ticket_;
+  ++in_flight_;
+  wait.Finish();
+  cv_.notify_all();  // the ticket advanced; wake the next in line
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace serve
+}  // namespace pbitree

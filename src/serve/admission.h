@@ -1,0 +1,83 @@
+#ifndef PBITREE_SERVE_ADMISSION_H_
+#define PBITREE_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace pbitree {
+namespace serve {
+
+/// \brief Gate keeping N clients from oversubscribing the query
+/// engine's resources: at most `max_concurrent` queries execute at
+/// once (each on a work_pages / max_concurrent budget slice — see
+/// serve/server.h), up to `max_queued` more wait their turn on a FIFO
+/// condition, and everything beyond that is rejected immediately with
+/// kResourceExhausted — under overload the server sheds load instead
+/// of building an unbounded convoy.
+///
+/// Observability (billed to the calling thread's metric scope):
+/// rejected admits count obs::Counter::kServeRejected, the queue's
+/// high-water mark tracks obs::Gauge::kServeQueueDepth, and time spent
+/// queued records into obs::Latency::kServeQueueWait.
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_concurrent, size_t max_queued)
+      : max_concurrent_(max_concurrent < 1 ? 1 : max_concurrent),
+        max_queued_(max_queued) {}
+
+  /// Acquires an execution slot, waiting in FIFO order while the queue
+  /// has room. OK means the caller holds a slot and must Release()
+  /// exactly once. kResourceExhausted: queue full, nothing acquired.
+  /// kCancelled: the controller was Closed while waiting (shutdown).
+  Status Admit();
+
+  /// Returns a slot acquired by Admit.
+  void Release();
+
+  /// Wakes every queued waiter with kCancelled and makes all future
+  /// Admits fail the same way — the shutdown path. In-flight slots
+  /// stay valid until their Release (drain semantics).
+  void Close();
+
+  size_t in_flight() const;
+  size_t queued() const;
+
+ private:
+  const size_t max_concurrent_;
+  const size_t max_queued_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  size_t queued_ = 0;
+  uint64_t next_ticket_ = 0;    // FIFO order: next ticket to hand out
+  uint64_t serving_ticket_ = 0; // lowest ticket allowed to take a slot
+  bool closed_ = false;
+};
+
+/// \brief RAII slot guard: releases on destruction if Admit succeeded.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* c) : c_(c), status_(c->Admit()) {}
+  ~AdmissionSlot() {
+    if (status_.ok()) c_->Release();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+ private:
+  AdmissionController* c_;
+  Status status_;
+};
+
+}  // namespace serve
+}  // namespace pbitree
+
+#endif  // PBITREE_SERVE_ADMISSION_H_

@@ -1,0 +1,141 @@
+#include "serve/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace pbitree {
+namespace serve {
+
+Status ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  std::string port_part;
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    *host = "127.0.0.1";
+    port_part = spec;
+  } else {
+    *host = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (host->empty()) *host = "127.0.0.1";
+  char* end = nullptr;
+  long p = std::strtol(port_part.c_str(), &end, 10);
+  if (port_part.empty() || end == nullptr || *end != '\0' || p < 1 ||
+      p > 65535) {
+    return Status::InvalidArgument("bad server address '" + spec +
+                                   "' (want host:port)");
+  }
+  *port = static_cast<int>(p);
+  return Status::OK();
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  Status st = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      st = Status::IOError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      st = Status::OK();
+      break;
+    }
+    st = Status::IOError("connect " + host + ":" + port_str + ": " +
+                         std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return st;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::string> Client::TextRequest(const std::string& op) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  Request req;
+  req.op = op;
+  PBITREE_RETURN_IF_ERROR(WriteRequestFrame(fd_, req));
+  FrameType type{};
+  std::string payload;
+  PBITREE_RETURN_IF_ERROR(ReadFrame(fd_, &type, &payload));
+  if (type == FrameType::kError) return DecodeError(payload);
+  if (type != FrameType::kText) {
+    return Status::Corruption("unexpected frame type in '" + op + "' reply");
+  }
+  return payload;
+}
+
+Status Client::Ping() {
+  PBITREE_ASSIGN_OR_RETURN(std::string reply, TextRequest("ping"));
+  if (reply != "pong") return Status::Corruption("bad ping reply: " + reply);
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::List() { return TextRequest("list"); }
+
+StatusOr<std::string> Client::Metrics() { return TextRequest("metrics"); }
+
+StatusOr<JoinSummary> Client::Join(const std::string& a, const std::string& d,
+                                   const std::string& alg, ResultSink* sink) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  Request req;
+  req.op = "join";
+  req.params["a"] = a;
+  req.params["d"] = d;
+  req.params["alg"] = alg;
+  PBITREE_RETURN_IF_ERROR(WriteRequestFrame(fd_, req));
+
+  std::vector<ResultPair> batch;
+  for (;;) {
+    FrameType type{};
+    std::string payload;
+    PBITREE_RETURN_IF_ERROR(ReadFrame(fd_, &type, &payload));
+    switch (type) {
+      case FrameType::kPairs: {
+        if (payload.size() % sizeof(ResultPair) != 0) {
+          return Status::Corruption("pairs frame size " +
+                                    std::to_string(payload.size()) +
+                                    " is not a multiple of the pair size");
+        }
+        // Copy out of the frame buffer: the payload string carries no
+        // alignment guarantee for the 8-byte codes.
+        batch.resize(payload.size() / sizeof(ResultPair));
+        std::memcpy(batch.data(), payload.data(), payload.size());
+        PBITREE_RETURN_IF_ERROR(
+            sink->OnBatch(std::span<const ResultPair>(batch)));
+        break;
+      }
+      case FrameType::kDone:
+        return ParseDone(payload);
+      case FrameType::kError:
+        return DecodeError(payload);
+      case FrameType::kText:
+        return Status::Corruption("unexpected text frame in join stream");
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace pbitree

@@ -1,0 +1,73 @@
+#ifndef PBITREE_SERVE_CLIENT_H_
+#define PBITREE_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "join/result_sink.h"
+#include "serve/protocol.h"
+
+namespace pbitree {
+namespace serve {
+
+/// Splits "host:port" (or a bare port for loopback). Port must be in
+/// [1, 65535].
+Status ParseHostPort(const std::string& spec, std::string* host, int* port);
+
+/// \brief Blocking client for pbitree_serverd. One TCP connection,
+/// serially reusable for any number of requests. Not thread-safe; use
+/// one Client per thread (the daemon handles each connection on its
+/// own thread, so N clients get real concurrency).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trip liveness check.
+  Status Ping();
+
+  /// Catalogued sets, one "name num_records" line each.
+  StatusOr<std::string> List();
+
+  /// The server's obs registry as a JSON snapshot.
+  StatusOr<std::string> Metrics();
+
+  /// Runs a containment join on the server, streaming result pairs into
+  /// `sink` as they arrive (frame by frame, no client-side buffering).
+  /// `alg` is an AlgorithmName() string or "auto". Request-level
+  /// failures (unknown tag/algorithm, admission rejection) come back as
+  /// the server's Status with the connection still usable.
+  StatusOr<JoinSummary> Join(const std::string& a, const std::string& d,
+                             const std::string& alg, ResultSink* sink);
+
+  /// The raw socket, for tests that need to misbehave (e.g. disconnect
+  /// mid-stream).
+  int fd() const { return fd_; }
+
+ private:
+  /// Sends a parameter-less request and expects a single kText reply.
+  StatusOr<std::string> TextRequest(const std::string& op);
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace pbitree
+
+#endif  // PBITREE_SERVE_CLIENT_H_

@@ -1,0 +1,114 @@
+#ifndef PBITREE_SERVE_PROTOCOL_H_
+#define PBITREE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/heap_file.h"
+
+namespace pbitree {
+namespace serve {
+
+/// \brief Wire protocol of pbitree_serverd — one TCP connection carries
+/// a sequence of request/response exchanges.
+///
+/// Requests are a single length-prefixed text line (easy to log, easy
+/// to speak from a script):
+///
+///   u32 payload_len (LE) | payload: "<op> key=value key=value ..."
+///
+/// ops: "join a=<tag> d=<tag> [alg=<name>|auto]", "list", "metrics",
+/// "ping". Keys and values are whitespace-free tokens ('=' is reserved
+/// for the separator), which every tag and algorithm name satisfies.
+///
+/// Responses are length-prefixed typed frames:
+///
+///   u32 payload_len (LE) | u8 frame_type | payload
+///
+/// A join answer is zero or more kPairs frames (each a dense array of
+/// 16-byte ResultPair records, streamed while the join runs — the
+/// server never materialises the result) terminated by exactly one
+/// kDone frame carrying the run summary, or by a kError frame. "list"
+/// and "metrics" answer with one kText frame; errors anywhere answer
+/// kError, whose payload round-trips the server-side Status.
+enum class FrameType : uint8_t {
+  kPairs = 0,  // N * sizeof(ResultPair) bytes of result tuples
+  kDone = 1,   // key=value run summary (see JoinSummary)
+  kError = 2,  // "<status code int> <message>" — decodes to a Status
+  kText = 3,   // UTF-8 payload (metrics JSON, tag list)
+};
+
+/// Frames larger than this are rejected by the reader on both sides —
+/// a corrupt length prefix must not trigger a huge allocation.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 22;
+
+/// Result pairs per kPairs frame (8 KiB of payload): small enough to
+/// stream promptly, large enough to amortise the syscall.
+inline constexpr size_t kPairsPerFrame = 512;
+
+/// \brief A parsed request line.
+struct Request {
+  std::string op;
+  std::map<std::string, std::string> params;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Renders `r` as a protocol line. Fails (InvalidArgument) when the op,
+/// a key or a value contains whitespace, '=' or is empty — the line
+/// format cannot carry those.
+StatusOr<std::string> EncodeRequest(const Request& r);
+
+/// Parses a protocol line back into a Request.
+StatusOr<Request> ParseRequest(std::string_view line);
+
+/// \brief Summary of one served join, carried by the kDone frame.
+struct JoinSummary {
+  uint64_t pairs = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  double wall_seconds = 0.0;
+  std::string algorithm;  // the algorithm that actually ran
+};
+
+std::string EncodeDone(const JoinSummary& s);
+StatusOr<JoinSummary> ParseDone(std::string_view payload);
+
+/// Status <-> kError payload. DecodeError always returns a non-OK
+/// Status (a malformed payload decodes to Internal).
+std::string EncodeError(const Status& st);
+Status DecodeError(std::string_view payload);
+
+/// Writes all of [buf, buf+n) to `fd`, retrying short writes and EINTR.
+/// Uses MSG_NOSIGNAL so a disconnected peer surfaces as an IOError
+/// Status instead of SIGPIPE killing the process.
+Status WriteFull(int fd, const void* buf, size_t n);
+
+/// Reads exactly `n` bytes. `clean_eof` (optional) is set when the peer
+/// closed the connection before the first byte — the normal end of a
+/// request loop, reported as a non-OK IOError Status with no bytes
+/// consumed.
+Status ReadFull(int fd, void* buf, size_t n, bool* clean_eof = nullptr);
+
+/// One typed response frame (header + payload) in a single write.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+Status WritePairsFrame(int fd, std::span<const ResultPair> pairs);
+
+/// Reads one response frame. Rejects payloads over kMaxFrameBytes.
+Status ReadFrame(int fd, FrameType* type, std::string* payload);
+
+/// Request framing: the encoded line behind a u32 length prefix.
+Status WriteRequestFrame(int fd, const Request& r);
+
+/// Reads one request frame. `clean_eof` is set (and IOError returned)
+/// when the client hung up between requests.
+Status ReadRequestFrame(int fd, Request* out, bool* clean_eof);
+
+}  // namespace serve
+}  // namespace pbitree
+
+#endif  // PBITREE_SERVE_PROTOCOL_H_

@@ -1,0 +1,340 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/env.h"
+#include "framework/runner.h"
+#include "serve/socket_sink.h"
+#include "storage/disk_manager.h"
+
+namespace pbitree {
+namespace serve {
+
+namespace {
+
+void CloseIfOpen(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::FromEnv() {
+  ServeConfig cfg;
+  cfg.port = static_cast<int>(
+      EnvInt64Checked("PBITREE_SERVE_PORT", cfg.port, 0, 65535));
+  cfg.max_clients = static_cast<size_t>(EnvInt64Checked(
+      "PBITREE_SERVE_MAX_CLIENTS", static_cast<int64_t>(cfg.max_clients), 1,
+      4096));
+  cfg.max_concurrent = static_cast<size_t>(EnvInt64Checked(
+      "PBITREE_SERVE_MAX_CONCURRENT", static_cast<int64_t>(cfg.max_concurrent),
+      1, 1024));
+  cfg.queue_depth = static_cast<size_t>(EnvInt64Checked(
+      "PBITREE_SERVE_QUEUE_DEPTH", static_cast<int64_t>(cfg.queue_depth), 0,
+      1 << 20));
+  // Floor 3 * max_concurrent keeps every slice at the engine's minimum
+  // working-storage budget even at full concurrency.
+  cfg.work_pages = static_cast<size_t>(EnvInt64Checked(
+      "PBITREE_SERVE_WORK_PAGES", static_cast<int64_t>(cfg.work_pages),
+      3 * static_cast<int64_t>(cfg.max_concurrent), 1 << 24));
+  cfg.threads = static_cast<size_t>(EnvInt64Checked(
+      "PBITREE_SERVE_THREADS", static_cast<int64_t>(cfg.threads), 1, 1024));
+  return cfg;
+}
+
+Server::Server(BufferManager* bm, Catalog catalog, ServeConfig cfg)
+    : bm_(bm),
+      catalog_(std::move(catalog)),
+      cfg_(cfg),
+      admission_(cfg.max_concurrent, cfg.queue_depth) {}
+
+Server::~Server() {
+  if (started_.load()) (void)Shutdown();
+}
+
+size_t Server::PerQueryWorkPages() const {
+  size_t slice = cfg_.work_pages / cfg_.max_concurrent;
+  return slice < 3 ? 3 : slice;
+}
+
+Status Server::Start() {
+  if (started_.load()) return Status::InvalidArgument("server already started");
+
+  // Warm up: attach every catalogued set once. After this the daemon
+  // never touches the catalog again — repeated queries hit these
+  // handles and whatever pages the pool has retained.
+  for (const std::string& name : catalog_.Names()) {
+    PBITREE_ASSIGN_OR_RETURN(ElementSet set, catalog_.Get(bm_, name));
+    sets_.emplace(name, set);
+  }
+
+  exec_ = std::make_unique<ExecContext>(cfg_.threads);
+
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(cfg_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind port ") +
+                           std::to_string(cfg_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  started_.store(true);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::BeginShutdown() {
+  draining_.store(true);
+  admission_.Close();
+  if (wake_pipe_[1] >= 0) {
+    char b = 'x';
+    (void)!::write(wake_pipe_[1], &b, 1);
+  }
+  // Unblock connection threads parked in a request read. Sockets stay
+  // open for writing: an in-flight query keeps streaming its results.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (Conn& c : conns_) {
+    if (!c.done.load()) ::shutdown(c.fd, SHUT_RD);
+  }
+}
+
+Status Server::Shutdown() {
+  if (!started_.load()) return Status::OK();
+  BeginShutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  Reap(/*all=*/true);
+  CloseIfOpen(&listen_fd_);
+  CloseIfOpen(&wake_pipe_[0]);
+  CloseIfOpen(&wake_pipe_[1]);
+  started_.store(false);
+  // Durability barrier: every query ran with flush_pool=false, so the
+  // pool may hold dirty pages. No queries are running now, making the
+  // pool-wide flush safe; Sync pushes it through the backend.
+  PBITREE_RETURN_IF_ERROR(bm_->FlushAll());
+  return bm_->disk()->Sync();
+}
+
+size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  size_t n = 0;
+  for (const Conn& c : conns_) {
+    if (!c.done.load()) ++n;
+  }
+  return n;
+}
+
+void Server::Reap(bool all) {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  if (all) {
+    conn_cv_.wait(lock, [&] {
+      for (const Conn& c : conns_) {
+        if (!c.done.load()) return false;
+      }
+      return true;
+    });
+  }
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done.load()) {
+      it->th.join();
+      ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  obs::MetricScope scope(&registry_);
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // BeginShutdown woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    Reap(/*all=*/false);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (draining_.load()) {
+      ::close(cfd);
+      continue;
+    }
+    size_t active = 0;
+    for (const Conn& c : conns_) {
+      if (!c.done.load()) ++active;
+    }
+    if (active >= cfg_.max_clients) {
+      obs::Count(obs::Counter::kServeRejected);
+      (void)WriteFrame(cfd, FrameType::kError,
+                       EncodeError(Status::ResourceExhausted(
+                           "server at max_clients=" +
+                           std::to_string(cfg_.max_clients))));
+      ::close(cfd);
+      continue;
+    }
+    conns_.emplace_back();
+    Conn& conn = conns_.back();
+    conn.fd = cfd;
+    conn.th = std::thread(&Server::HandleConnection, this, &conn);
+  }
+  // Stop the listener as soon as accepting ends: late connects are
+  // refused (or reset from the backlog) instead of parking in a queue
+  // nobody will ever serve.
+  CloseIfOpen(&listen_fd_);
+}
+
+void Server::HandleConnection(Conn* conn) {
+  // All work on this connection — admission waits, join execution on
+  // this thread, pool tasks it schedules — bills into the server
+  // registry, the source of the `metrics` snapshot and the QPS bench's
+  // latency histograms.
+  obs::MetricScope scope(&registry_);
+  const int fd = conn->fd;
+  for (;;) {
+    Request req;
+    bool clean_eof = false;
+    Status st = ReadRequestFrame(fd, &req, &clean_eof);
+    if (!st.ok()) {
+      // A malformed request is unrecoverable (framing may be lost);
+      // answer best-effort and drop the connection.
+      if (!clean_eof && st.code() != StatusCode::kIOError) {
+        (void)WriteFrame(fd, FrameType::kError, EncodeError(st));
+      }
+      break;
+    }
+    if (!HandleRequest(fd, req).ok()) break;
+    if (draining_.load()) break;
+  }
+  conn->done.store(true);
+  conn_cv_.notify_all();
+}
+
+Status Server::HandleRequest(int fd, const Request& req) {
+  if (req.op == "ping") return WriteFrame(fd, FrameType::kText, "pong");
+  if (req.op == "list") {
+    std::string out;
+    for (const auto& [name, set] : sets_) {
+      out += name;
+      out += ' ';
+      out += std::to_string(set.num_records());
+      out += '\n';
+    }
+    return WriteFrame(fd, FrameType::kText, out);
+  }
+  if (req.op == "metrics") {
+    return WriteFrame(fd, FrameType::kText, registry_.Snapshot().ToJson());
+  }
+  if (req.op == "join") return HandleJoin(fd, req);
+  return WriteFrame(
+      fd, FrameType::kError,
+      EncodeError(Status::InvalidArgument("unknown op '" + req.op + "'")));
+}
+
+Status Server::HandleJoin(int fd, const Request& req) {
+  auto a_it = req.params.find("a");
+  auto d_it = req.params.find("d");
+  if (a_it == req.params.end() || d_it == req.params.end()) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "join requires a=<tag> and d=<tag>")));
+  }
+  auto find_set = [&](const std::string& tag) -> const ElementSet* {
+    auto it = sets_.find(tag);
+    return it == sets_.end() ? nullptr : &it->second;
+  };
+  const ElementSet* a = find_set(a_it->second);
+  const ElementSet* d = find_set(d_it->second);
+  if (a == nullptr || d == nullptr) {
+    const std::string& missing = a == nullptr ? a_it->second : d_it->second;
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::NotFound("no element set named '" +
+                                                   missing + "'")));
+  }
+
+  std::string alg_name = "auto";
+  if (auto it = req.params.find("alg"); it != req.params.end()) {
+    alg_name = it->second;
+  }
+  Algorithm alg{};
+  const bool is_auto = alg_name == "auto";
+  if (!is_auto && !ParseAlgorithm(alg_name, &alg)) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "unknown algorithm '" + alg_name + "'")));
+  }
+
+  // Queue wait counts toward the client-observed query latency.
+  obs::LatencyTimer query_timer(obs::Latency::kServeQuery);
+  AdmissionSlot slot(&admission_);
+  if (!slot.ok()) {
+    return WriteFrame(fd, FrameType::kError, EncodeError(slot.status()));
+  }
+  obs::Count(obs::Counter::kServeQueries);
+
+  RunOptions options;
+  options.work_pages = PerQueryWorkPages();
+  options.shared_exec = exec_.get();
+  options.flush_pool = false;  // phase op; see RunOptions::flush_pool
+  SocketSink sink(fd);
+  StatusOr<RunResult> run = is_auto
+                                ? RunAuto(bm_, *a, *d, &sink, options)
+                                : RunJoin(alg, bm_, *a, *d, &sink, options);
+  if (!run.ok()) {
+    // If the sink died the socket is gone — fail the connection; any
+    // other failure is reported to the (still healthy) client.
+    if (!sink.status().ok()) return sink.status();
+    return WriteFrame(fd, FrameType::kError, EncodeError(run.status()));
+  }
+  PBITREE_RETURN_IF_ERROR(sink.Flush());
+  query_timer.Finish();
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+
+  JoinSummary summary;
+  summary.pairs = run->output_pairs;
+  summary.page_reads = run->page_reads;
+  summary.page_writes = run->page_writes;
+  summary.wall_seconds = run->wall_seconds;
+  summary.algorithm = AlgorithmName(run->algorithm);
+  return WriteFrame(fd, FrameType::kDone, EncodeDone(summary));
+}
+
+}  // namespace serve
+}  // namespace pbitree

@@ -1,0 +1,93 @@
+#ifndef PBITREE_SERVE_SOCKET_SINK_H_
+#define PBITREE_SERVE_SOCKET_SINK_H_
+
+#include <span>
+#include <vector>
+
+#include "join/result_sink.h"
+#include "serve/protocol.h"
+
+namespace pbitree {
+namespace serve {
+
+/// \brief Streams join results to a client as kPairs frames while the
+/// join runs — the server never materialises a result set.
+///
+/// Pairs accumulate in a kPairsPerFrame staging buffer; a full buffer
+/// ships as one frame. Callers must Flush() (the partial tail frame)
+/// before sending the kDone frame. A write failure — typically the
+/// client disconnecting mid-stream — latches and surfaces as an
+/// IOError Status, which aborts the producing join through the normal
+/// sink-error path: the algorithms' error handling drops temp files
+/// and unpins frames exactly as for any other sink failure.
+class SocketSink : public ResultSink {
+ public:
+  explicit SocketSink(int fd) : fd_(fd) { buf_.reserve(kPairsPerFrame); }
+
+  Status OnPair(Code a, Code d) override {
+    PBITREE_RETURN_IF_ERROR(status_);
+    buf_.push_back(ResultPair{a, d});
+    ++count_;
+    if (buf_.size() >= kPairsPerFrame) return SendBuffered();
+    return Status::OK();
+  }
+
+  Status OnBatch(std::span<const ResultPair> pairs) override {
+    PBITREE_RETURN_IF_ERROR(status_);
+    count_ += pairs.size();
+    // Top up the staged partial frame, then ship full frames straight
+    // from the input span (no copy), keeping only a partial tail.
+    while (!pairs.empty()) {
+      if (buf_.empty() && pairs.size() >= kPairsPerFrame) {
+        PBITREE_RETURN_IF_ERROR(
+            Send(pairs.first(kPairsPerFrame)));
+        pairs = pairs.subspan(kPairsPerFrame);
+        continue;
+      }
+      const size_t room = kPairsPerFrame - buf_.size();
+      const size_t m = pairs.size() < room ? pairs.size() : room;
+      buf_.insert(buf_.end(), pairs.begin(), pairs.begin() + m);
+      pairs = pairs.subspan(m);
+      if (buf_.size() >= kPairsPerFrame) PBITREE_RETURN_IF_ERROR(SendBuffered());
+    }
+    return Status::OK();
+  }
+
+  /// Ships the partial tail frame. Must be called — and its status
+  /// checked — after the join succeeds and before the kDone frame.
+  Status Flush() {
+    PBITREE_RETURN_IF_ERROR(status_);
+    if (buf_.empty()) return Status::OK();
+    return SendBuffered();
+  }
+
+  /// First write error this sink hit (latched; all later calls fail
+  /// with it immediately instead of retrying a dead socket).
+  const Status& status() const { return status_; }
+
+ private:
+  Status Send(std::span<const ResultPair> pairs) {
+    Status st = WritePairsFrame(fd_, pairs);
+    if (!st.ok()) {
+      status_ = Status::IOError("client disconnected mid-stream: " +
+                                st.message());
+      return status_;
+    }
+    return st;
+  }
+
+  Status SendBuffered() {
+    Status st = Send(buf_);
+    buf_.clear();
+    return st;
+  }
+
+  int fd_;
+  Status status_;
+  std::vector<ResultPair> buf_;
+};
+
+}  // namespace serve
+}  // namespace pbitree
+
+#endif  // PBITREE_SERVE_SOCKET_SINK_H_

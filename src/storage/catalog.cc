@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace pbitree {
 
 namespace {
@@ -24,6 +26,9 @@ T GetAt(const char* base, size_t off) {
 }  // namespace
 
 StatusOr<Catalog> Catalog::Load(BufferManager* bm) {
+  // Counted so a serving process can prove it loads the catalog once
+  // and answers every query from the warm copy (see serve/server.h).
+  obs::Count(obs::Counter::kCatalogLoads);
   Catalog cat;
   if (bm->disk()->frontier() == 0) return cat;  // nothing on disk yet
   PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));

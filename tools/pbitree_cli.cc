@@ -40,6 +40,7 @@
 #include "obs/metrics.h"
 #include "pbitree/binarize.h"
 #include "query/twig_query.h"
+#include "serve/client.h"
 #include "storage/catalog.h"
 #include "storage/io_backend.h"
 #include "xml/parser.h"
@@ -53,6 +54,8 @@ constexpr size_t kPoolPages = 1024;
 /// Flags shared by every subcommand.
 struct GlobalOptions {
   std::string backend = "file";  // file | mem (IoBackend factory kinds)
+  std::string server;            // host:port — route to pbitree_serverd
+  std::string alg = "auto";      // server mode: algorithm to request
   size_t threads = 1;
   bool metrics = false;
   bool help = false;
@@ -127,7 +130,26 @@ int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Connects to a running pbitree_serverd (--server host:port).
+StatusOr<std::unique_ptr<serve::Client>> ConnectServer(const GlobalOptions& g) {
+  std::string host;
+  int port = 0;
+  PBITREE_RETURN_IF_ERROR(serve::ParseHostPort(g.server, &host, &port));
+  auto client = std::make_unique<serve::Client>();
+  PBITREE_RETURN_IF_ERROR(client->Connect(host, port));
+  return client;
+}
+
 int CmdList(const GlobalOptions& g, const std::vector<std::string>& args) {
+  if (!g.server.empty()) {
+    auto client = ConnectServer(g);
+    if (!client.ok()) return Fail(client.status());
+    auto listing = (*client)->List();
+    if (!listing.ok()) return Fail(listing.status());
+    std::printf("%s", listing->c_str());
+    return 0;
+  }
+  if (args.empty()) return Usage("list needs <db> (or --server host:port)");
   auto opened = OpenDb(g, args[0]);
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<DiskManager> disk(*opened);
@@ -147,7 +169,46 @@ int CmdList(const GlobalOptions& g, const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Server mode: a two-step descendant path maps onto one containment
+/// join executed by the daemon; results stream back and are counted
+/// client-side (the CLI reports the count, like local mode).
+int CmdQueryServer(const GlobalOptions& g, const std::string& query_text) {
+  auto parsed = ParseTwigQuery(query_text);
+  if (!parsed.ok()) return Fail(parsed.status());
+  if (parsed->steps.size() != 2 || !parsed->steps[0].predicates.empty() ||
+      !parsed->steps[1].predicates.empty()) {
+    return Usage(
+        "--server queries must be a two-step predicate-free path "
+        "('//a//b' — one containment join)");
+  }
+  auto client = ConnectServer(g);
+  if (!client.ok()) return Fail(client.status());
+
+  Timer timer;
+  CountingSink sink;
+  auto summary = (*client)->Join(parsed->steps[0].tag, parsed->steps[1].tag,
+                                 g.alg, &sink);
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf(
+      "%llu pairs in %.1f ms  (server: %s, %llu reads, %llu writes, %.1f ms)\n",
+      static_cast<unsigned long long>(sink.count()), timer.ElapsedMillis(),
+      summary->algorithm.c_str(),
+      static_cast<unsigned long long>(summary->page_reads),
+      static_cast<unsigned long long>(summary->page_writes),
+      summary->wall_seconds * 1000.0);
+  if (g.metrics) {
+    auto metrics = (*client)->Metrics();
+    if (!metrics.ok()) return Fail(metrics.status());
+    std::printf("%s\n", metrics->c_str());
+  }
+  return 0;
+}
+
 int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
+  if (!g.server.empty()) return CmdQueryServer(g, args.back());
+  if (args.size() < 2) {
+    return Usage("query needs <db> and <query> (or --server host:port)");
+  }
   const std::string& db_path = args[0];
   const std::string& query_text = args[1];
   auto parsed = ParseTwigQuery(query_text);
@@ -216,13 +277,17 @@ const Subcommand kSubcommands[] = {
     {"encode", "<doc.xml> <db>",
      "parse + binarize one document, store an element set per tag", "", 2,
      CmdEncode},
-    {"list", "<db>", "show the element sets stored in the catalog", "", 1,
+    {"list", "<db>", "show the element sets stored in the catalog",
+     "  --server HOST:PORT  list a running pbitree_serverd's catalog\n", 0,
      CmdList},
     {"query", "<db> '//a[//p]//b//c'",
      "evaluate a descendant path by chaining containment joins",
      "  --threads N         worker threads for partitioned joins (default 1)\n"
-     "  --metrics           print the per-operation metrics report as JSON\n",
-     2, CmdQuery},
+     "  --metrics           print the per-operation metrics report as JSON\n"
+     "  --server HOST:PORT  run on pbitree_serverd ('//a//b' paths only;\n"
+     "                      --metrics fetches the server's registry)\n"
+     "  --alg NAME          server mode: SHCJ|MHCJ|...|auto (default auto)\n",
+     1, CmdQuery},
 };
 
 void PrintGlobalUsage(const char* prog, std::FILE* out) {
@@ -274,6 +339,22 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--backend=", 10) == 0) {
       g.backend = arg + 10;
+      continue;
+    }
+    if (std::strcmp(arg, "--server") == 0 && i + 1 < argc) {
+      g.server = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--server=", 9) == 0) {
+      g.server = arg + 9;
+      continue;
+    }
+    if (std::strcmp(arg, "--alg") == 0 && i + 1 < argc) {
+      g.alg = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--alg=", 6) == 0) {
+      g.alg = arg + 6;
       continue;
     }
     if (std::strncmp(arg, "--", 2) == 0) {
