@@ -1,6 +1,7 @@
 #ifndef PBITREE_FRAMEWORK_RUNNER_H_
 #define PBITREE_FRAMEWORK_RUNNER_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,14 @@ struct RunOptions {
   /// paper's raw-disk protocol where no algorithm benefits from pages a
   /// previous run left behind. Benchmarks enable this.
   bool cold_cache = false;
+
+  /// When set, overrides the pool's readahead window for the duration
+  /// of this run (restored afterwards): 0 forces synchronous I/O,
+  /// K > 0 lets sequential scans keep K pages prefetching. Readahead
+  /// moves *when* pages are read, never *whether* — page-read counts
+  /// and join output are identical either way. Unset inherits the
+  /// pool's setting (PBITREE_READAHEAD_PAGES).
+  std::optional<size_t> readahead_pages;
 
   /// Pre-existing access paths (see AccessPaths); missing ones are
   /// built on the fly and their build time recorded in the stats.

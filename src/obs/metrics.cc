@@ -41,6 +41,10 @@ const char* CounterName(Counter c) {
     case Counter::kServeQueries: return "serve_queries";
     case Counter::kServeRejected: return "serve_rejected";
     case Counter::kCatalogLoads: return "catalog_loads";
+    case Counter::kBufPrefetchIssued: return "buf_prefetch_issued";
+    case Counter::kBufPrefetchHits: return "buf_prefetch_hits";
+    case Counter::kBufPrefetchUnused: return "buf_prefetch_unused";
+    case Counter::kBufWriteBehind: return "buf_write_behind";
   }
   return "unknown_counter";
 }

@@ -73,9 +73,15 @@ enum class Counter : uint32_t {
   kServeQueries,   // queries admitted and executed by the daemon
   kServeRejected,  // queries refused by admission control (queue full)
   kCatalogLoads,   // Catalog::Load calls — a warm server stays at 1
+
+  // Buffer-pool readahead / write-behind (see storage/buffer_manager.h).
+  kBufPrefetchIssued,  // prefetch transfers started
+  kBufPrefetchHits,    // fetches served by a completed prefetch
+  kBufPrefetchUnused,  // prefetched frames dropped before consumption
+  kBufWriteBehind,     // dirty pages handed to the background flusher
 };
 inline constexpr size_t kNumCounters =
-    static_cast<size_t>(Counter::kCatalogLoads) + 1;
+    static_cast<size_t>(Counter::kBufWriteBehind) + 1;
 
 /// High-water marks, merged by max across shards and over time.
 enum class Gauge : uint32_t {
@@ -102,7 +108,9 @@ inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kReplay) + 1;
 
 /// Latency histogram kinds (log2-bucketed nanoseconds).
 enum class Latency : uint32_t {
-  kIoWait = 0,      // waits on the buffer pool's in-flight-I/O condition
+  kIoWait = 0,      // time blocked on page I/O: the synchronous transfer
+                    // of a buffer-pool miss, waits on in-flight frames,
+                    // and waits for async I/O completions
   kLatchWait,       // buffer-pool latch acquisition on the fetch path
   kServeQueueWait,  // time a query spent queued behind admission control
   kServeQuery,      // end-to-end per-query service time (p50/p99 source)

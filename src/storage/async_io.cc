@@ -1,0 +1,164 @@
+#include "storage/async_io.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace pbitree {
+
+// ---------------------------------------------------------------------------
+// IoWorkerPool
+
+IoWorkerPool::IoWorkerPool(size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoWorkerPool::~IoWorkerPool() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+IoTicket IoWorkerPool::Submit(std::function<Status()> fn) {
+  auto state = std::make_shared<IoTicket::State>();
+  state->fn = std::move(fn);
+  state->registry = obs::CurrentRegistry();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(state);
+  }
+  work_cv_.notify_one();
+  return IoTicket(std::move(state));
+}
+
+Status IoWorkerPool::Wait(const IoTicket& ticket) {
+  if (!ticket.valid()) return Status::InvalidArgument("wait on empty ticket");
+  IoTicket::State* s = ticket.state_.get();
+  obs::LatencyTimer io_wait(obs::Latency::kIoWait);
+  std::unique_lock<std::mutex> lk(s->mu);
+  s->cv.wait(lk, [s] { return s->done; });
+  io_wait.Finish();
+  return s->status;
+}
+
+bool IoWorkerPool::TryCancel(const IoTicket& ticket) {
+  if (!ticket.valid()) return false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::find(queue_.begin(), queue_.end(), ticket.state_);
+    if (it == queue_.end()) return false;
+    queue_.erase(it);
+  }
+  IoTicket::State* s = ticket.state_.get();
+  {
+    std::lock_guard<std::mutex> lk(s->mu);
+    s->cancelled = true;
+    s->done = true;
+    s->status = Status::Cancelled("io job cancelled before it started");
+    s->fn = nullptr;
+  }
+  s->cv.notify_all();
+  drain_cv_.notify_all();
+  return true;
+}
+
+void IoWorkerPool::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drain_cv_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void IoWorkerPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<IoTicket::State> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    {
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->started = true;
+    }
+    Status st;
+    {
+      // Bill the job's page I/O, retries and checksum events to the
+      // operation that submitted it — not to whichever operation last
+      // ran on this worker thread.
+      obs::MetricScope scope(job->registry);
+      st = job->fn();
+    }
+    job->fn = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->status = std::move(st);
+      job->done = true;
+    }
+    job->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AsyncIoBackend
+
+AsyncIoBackend::AsyncIoBackend(std::unique_ptr<IoBackend> inner,
+                               size_t workers)
+    : inner_(std::move(inner)), pool_(workers) {}
+
+AsyncIoBackend::~AsyncIoBackend() = default;
+
+Status AsyncIoBackend::ReadPage(PageId id, char* out) {
+  return pool_.Wait(SubmitRead(id, out));
+}
+
+Status AsyncIoBackend::WritePage(PageId id, const char* in) {
+  return pool_.Wait(SubmitWrite(id, in));
+}
+
+Status AsyncIoBackend::Sync() {
+  // Sync is a barrier: it must order after every queued write, so it
+  // goes through the same queue (FIFO) rather than bypassing it.
+  return pool_.Wait(pool_.Submit([this] { return inner_->Sync(); }));
+}
+
+IoTicket AsyncIoBackend::SubmitRead(PageId id, char* out) {
+  return pool_.Submit([this, id, out] { return inner_->ReadPage(id, out); });
+}
+
+IoTicket AsyncIoBackend::SubmitWrite(PageId id, const char* in) {
+  return pool_.Submit([this, id, in] { return inner_->WritePage(id, in); });
+}
+
+// ---------------------------------------------------------------------------
+// LatencyInjectingBackend
+
+Status LatencyInjectingBackend::ReadPage(PageId id, char* out) {
+  if (read_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(read_us_));
+  }
+  return inner_->ReadPage(id, out);
+}
+
+Status LatencyInjectingBackend::WritePage(PageId id, const char* in) {
+  if (write_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(write_us_));
+  }
+  return inner_->WritePage(id, in);
+}
+
+}  // namespace pbitree

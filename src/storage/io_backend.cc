@@ -1,6 +1,7 @@
 #include "storage/io_backend.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -9,15 +10,65 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "storage/async_io.h"
 
 namespace pbitree {
+
+// ---------------------------------------------------------------------------
+// Positional full-transfer loops
+
+namespace io_internal {
+
+Status ReadFullAt(const PReadFn& pread_fn, const char* what, char* buf,
+                  size_t n, off_t off) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = pread_fn(buf + got, n - got, off + static_cast<off_t>(got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+    }
+    if (r == 0) {
+      // True end of file: the store has never been extended this far.
+      // Only here may the tail read as zeroes — a short read with more
+      // bytes behind it must resume, not zero-fill.
+      std::memset(buf + got, 0, n - got);
+      return Status::OK();
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFullAt(const PWriteFn& pwrite_fn, const char* what,
+                   const char* buf, size_t n, off_t off) {
+  size_t put = 0;
+  while (put < n) {
+    ssize_t w = pwrite_fn(buf + put, n - put, off + static_cast<off_t>(put));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+    }
+    if (w == 0) {
+      return Status::IOError(std::string(what) +
+                             ": wrote 0 bytes (device full?)");
+    }
+    put += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace io_internal
 
 // ---------------------------------------------------------------------------
 // FileIoBackend
 
 StatusOr<std::unique_ptr<IoBackend>> FileIoBackend::Open(
     const std::string& path, bool truncate, bool unlink_on_close) {
-  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  // O_CLOEXEC: the daemon forks/execs helpers from connection-handling
+  // code; a data-file fd leaking into a child would outlive our unlink
+  // discipline and bypass the Sync barrier.
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : 0);
   int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     return Status::IOError("open(" + path + "): " + std::strerror(errno));
@@ -34,23 +85,23 @@ FileIoBackend::~FileIoBackend() {
 }
 
 Status FileIoBackend::ReadPage(PageId id, char* out) {
-  ssize_t n = ::pread(fd_, out, kPageSize, static_cast<off_t>(id) * kPageSize);
-  if (n < 0) {
-    return Status::IOError(std::string("pread: ") + std::strerror(errno));
-  }
-  if (static_cast<size_t>(n) < kPageSize) {
-    // Page was allocated but never written; the tail reads as zeroes.
-    std::memset(out + n, 0, kPageSize - n);
-  }
-  return Status::OK();
+  // The loop distinguishes a short read with bytes still behind it
+  // (resume — signal-interrupted or mid-extension transfers otherwise
+  // return pages with silently zeroed tails) from a true EOF (the
+  // never-written-page zero-fill contract).
+  return io_internal::ReadFullAt(
+      [this](char* buf, size_t n, off_t off) {
+        return ::pread(fd_, buf, n, off);
+      },
+      "pread", out, kPageSize, static_cast<off_t>(id) * kPageSize);
 }
 
 Status FileIoBackend::WritePage(PageId id, const char* in) {
-  ssize_t n = ::pwrite(fd_, in, kPageSize, static_cast<off_t>(id) * kPageSize);
-  if (n < 0 || static_cast<size_t>(n) != kPageSize) {
-    return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  return io_internal::WriteFullAt(
+      [this](const char* buf, size_t n, off_t off) {
+        return ::pwrite(fd_, buf, n, off);
+      },
+      "pwrite", in, kPageSize, static_cast<off_t>(id) * kPageSize);
 }
 
 Status FileIoBackend::Sync() {
@@ -61,11 +112,15 @@ Status FileIoBackend::Sync() {
 }
 
 StatusOr<PageId> FileIoBackend::SizeInPages() {
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0) {
-    return Status::IOError(std::string("lseek: ") + std::strerror(errno));
+  // fstat, not lseek(SEEK_END): stat does not touch the (shared) file
+  // offset, so concurrent SizeInPages calls cannot perturb each other
+  // or any other fd user, and there is no read-modify race on seek.
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError(std::string("fstat: ") + std::strerror(errno));
   }
-  return static_cast<PageId>((size + kPageSize - 1) / kPageSize);
+  return static_cast<PageId>((st.st_size + static_cast<off_t>(kPageSize) - 1) /
+                             static_cast<off_t>(kPageSize));
 }
 
 // ---------------------------------------------------------------------------
@@ -288,8 +343,16 @@ StatusOr<std::unique_ptr<IoBackend>> MakeIoBackend(const std::string& kind,
     return FileIoBackend::Open(path, /*truncate=*/false,
                                /*unlink_on_close=*/false);
   }
+  // "async-<kind>" wraps the inner kind in an AsyncIoBackend submission
+  // queue; same persistence semantics as the inner kind.
+  if (kind.rfind("async-", 0) == 0) {
+    auto inner = MakeIoBackend(kind.substr(6), path);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<IoBackend>(
+        new AsyncIoBackend(std::move(inner).value(), /*workers=*/2));
+  }
   return Status::InvalidArgument("unknown backend '" + kind +
-                                 "' (want file|mem)");
+                                 "' (want file|mem|async-file|async-mem)");
 }
 
 }  // namespace pbitree

@@ -1,7 +1,10 @@
 #ifndef PBITREE_STORAGE_IO_BACKEND_H_
 #define PBITREE_STORAGE_IO_BACKEND_H_
 
+#include <sys/types.h>
+
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -61,6 +64,30 @@ class IoBackend {
   /// non-persistent backends.
   virtual StatusOr<PageId> SizeInPages() { return PageId{0}; }
 };
+
+namespace io_internal {
+
+/// Signatures of the positional transfer primitives (`::pread`-shaped
+/// minus the fd), injectable so the resumption loops below are testable
+/// against scripted short transfers and EINTR without a real device.
+using PReadFn = std::function<ssize_t(char* buf, size_t n, off_t off)>;
+using PWriteFn = std::function<ssize_t(const char* buf, size_t n, off_t off)>;
+
+/// Reads exactly `n` bytes at `off`, resuming after short reads and
+/// retrying EINTR. A true end of file (the primitive returns 0) is not
+/// an error: the unread tail is zero-filled — the "allocated but never
+/// written" page contract. Any other failure is an IOError carrying the
+/// primitive's errno.
+Status ReadFullAt(const PReadFn& pread_fn, const char* what, char* buf,
+                  size_t n, off_t off);
+
+/// Writes exactly `n` bytes at `off`, resuming after short writes and
+/// retrying EINTR. A primitive that reports zero progress on a nonzero
+/// request is an error (looping on it would spin forever).
+Status WriteFullAt(const PWriteFn& pwrite_fn, const char* what,
+                   const char* buf, size_t n, off_t off);
+
+}  // namespace io_internal
 
 /// \brief Durable file-backed backend (pread/pwrite on one fd).
 class FileIoBackend : public IoBackend {

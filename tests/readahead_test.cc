@@ -1,0 +1,330 @@
+// Readahead differential suite: prefetch moves *when* pages are read,
+// never *whether*. Join output and page-read counts must be
+// byte-identical with readahead on or off — across the full algorithm
+// matrix, under an injected fault schedule, and for plain scans. Also
+// covers the soft-reservation hygiene (early-exit scans leave no
+// reserved frames) and the error contract (a failed prefetch surfaces
+// on the consuming FetchPage, never silently).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "framework/runner.h"
+#include "join/element_set.h"
+#include "join/result_sink.h"
+#include "pbitree/binarize.h"
+#include "pbitree/code.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "storage/io_backend.h"
+
+namespace pbitree {
+namespace {
+
+/// Random document, binarized; two tag sets as join inputs (the
+/// differential_test recipe, smaller).
+void MakeDocumentInputs(BufferManager* bm, Random* rng, ElementSet* a,
+                        ElementSet* d) {
+  DataTree tree;
+  tree.CreateRoot("root");
+  std::vector<NodeId> pool = {tree.root()};
+  const char* tags[] = {"sec", "par", "fig", "note"};
+  while (tree.size() < 900) {
+    NodeId parent = pool[rng->Uniform(pool.size())];
+    if (tree.node(parent).children.size() > 14) continue;
+    pool.push_back(tree.AddChild(parent, tags[rng->Uniform(4)]));
+  }
+  PBiTreeSpec spec;
+  ASSERT_TRUE(BinarizeTree(&tree, &spec).ok());
+  auto sa = ExtractTagSetByName(bm, tree, spec, "sec");
+  auto sd = ExtractTagSetByName(bm, tree, spec, "fig");
+  ASSERT_TRUE(sa.ok() && sd.ok());
+  *a = *sa;
+  *d = *sd;
+}
+
+struct Measured {
+  std::vector<ResultPair> pairs;
+  uint64_t page_reads = 0;
+};
+
+Measured RunMeasured(Algorithm alg, BufferManager* bm, const ElementSet& a,
+                     const ElementSet& d, size_t readahead) {
+  VectorSink collected;
+  VerifyingSink sink(&collected);
+  RunOptions opts;
+  opts.work_pages = 8;  // small enough to exercise partitioning paths
+  opts.cold_cache = true;  // pool residency must not differ between runs
+  opts.readahead_pages = readahead;
+  auto run = RunJoin(alg, bm, a, d, &sink, opts);
+  EXPECT_TRUE(run.ok()) << AlgorithmName(alg) << ": "
+                        << run.status().ToString();
+  collected.Sort();
+  Measured m;
+  m.pairs = collected.pairs();
+  if (run.ok()) m.page_reads = run->page_reads;
+  return m;
+}
+
+constexpr Algorithm kMatrix[] = {
+    Algorithm::kVpj,       Algorithm::kMhcj,   Algorithm::kMhcjRollup,
+    Algorithm::kStackTree, Algorithm::kMpmgjn, Algorithm::kInljn,
+    Algorithm::kAdb,       Algorithm::kShcj,
+};
+
+class ReadaheadDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 256);
+    initial_readahead_ = bm_->readahead_pages();
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+  size_t initial_readahead_ = 0;
+};
+
+TEST_P(ReadaheadDifferentialTest, JoinOutputAndPageReadsIdentical) {
+  Random rng(GetParam());
+  ElementSet a, d;
+  MakeDocumentInputs(bm_.get(), &rng, &a, &d);
+
+  // SHCJ only accepts a single-height ancestor set: restrict `a` to its
+  // most common height for that one algorithm.
+  ElementSet a_single;
+  {
+    std::vector<ElementRecord> recs;
+    HeapFile::Scanner scan(bm_.get(), a.file);
+    ElementRecord rec;
+    while (scan.NextElement(&rec)) recs.push_back(rec);
+    ASSERT_TRUE(scan.status().ok());
+    std::vector<size_t> by_height(64, 0);
+    for (const ElementRecord& r : recs) ++by_height[HeightOf(r.code)];
+    int modal = static_cast<int>(
+        std::max_element(by_height.begin(), by_height.end()) -
+        by_height.begin());
+    auto builder = ElementSetBuilder::Create(bm_.get(), a.spec);
+    ASSERT_TRUE(builder.ok());
+    for (const ElementRecord& r : recs) {
+      if (HeightOf(r.code) == modal) {
+        ASSERT_TRUE(builder->Add(r).ok());
+      }
+    }
+    a_single = builder->Build();
+    ASSERT_TRUE(a_single.SingleHeight());
+  }
+
+  for (Algorithm alg : kMatrix) {
+    const ElementSet& anc = (alg == Algorithm::kShcj) ? a_single : a;
+    Measured off = RunMeasured(alg, bm_.get(), anc, d, /*readahead=*/0);
+    Measured on = RunMeasured(alg, bm_.get(), anc, d, /*readahead=*/8);
+    EXPECT_EQ(off.pairs, on.pairs) << AlgorithmName(alg) << ": output differs";
+    EXPECT_EQ(off.page_reads, on.page_reads)
+        << AlgorithmName(alg) << ": page-read parity broken";
+    EXPECT_GT(off.pairs.size(), 0u) << AlgorithmName(alg);
+  }
+  // The run-scoped override must not leak into the pool's setting
+  // (whatever PBITREE_READAHEAD_PAGES initialised it to).
+  EXPECT_EQ(bm_->readahead_pages(), initial_readahead_);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadaheadDifferentialTest,
+                         ::testing::Values(1u, 42u));
+
+// The same parity must hold while a transient fault schedule exercises
+// the retry layer underneath the prefetch jobs (the PR 4 composition:
+// checksums, bounded retry and fault injection are below the async
+// split, so a worker-thread read retries exactly like a synchronous
+// one). Suite name carries "FaultInjection" so CI's ambient-schedule
+// job excludes it (it arms its own).
+TEST(ReadaheadFaultInjectionParityTest, TransientFaultsPreserveParity) {
+  FaultSchedule sched;
+  sched.seed = 42;
+  sched.read_every = 17;
+  sched.write_every = 13;
+  sched.transient = 2;
+  auto fault = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemIoBackend>(), sched);
+  auto dm = DiskManager::OpenWithBackend(std::move(fault),
+                                         /*restore_frontier=*/false);
+  ASSERT_TRUE(dm.ok());
+  std::unique_ptr<DiskManager> disk(*dm);
+  BufferManager bm(disk.get(), 256);
+
+  Random rng(7);
+  ElementSet a, d;
+  MakeDocumentInputs(&bm, &rng, &a, &d);
+
+  for (Algorithm alg : {Algorithm::kVpj, Algorithm::kStackTree}) {
+    Measured off = RunMeasured(alg, &bm, a, d, /*readahead=*/0);
+    Measured on = RunMeasured(alg, &bm, a, d, /*readahead=*/8);
+    EXPECT_EQ(off.pairs, on.pairs) << AlgorithmName(alg);
+    EXPECT_EQ(off.page_reads, on.page_reads) << AlgorithmName(alg);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scanner-level contracts.
+
+class ScannerReadaheadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_.reset(DiskManager::OpenInMemory());
+    bm_ = std::make_unique<BufferManager>(disk_.get(), 64);
+    // Tests toggle the window explicitly; start from a known state
+    // whatever PBITREE_READAHEAD_PAGES says.
+    bm_->set_readahead_pages(0);
+  }
+
+  HeapFile MakeFile(size_t records) {
+    auto file = HeapFile::Create(bm_.get());
+    EXPECT_TRUE(file.ok());
+    HeapFile::Appender app(bm_.get(), &file.value());
+    for (size_t i = 0; i < records; ++i) {
+      EXPECT_TRUE(
+          app.AppendElement(ElementRecord{i * 31 + 1, 0, 0}).ok());
+    }
+    EXPECT_TRUE(app.Finish().ok());
+    return *file;
+  }
+
+  std::vector<uint64_t> ScanAll(const HeapFile& file) {
+    std::vector<uint64_t> out;
+    HeapFile::Scanner scan(bm_.get(), file);
+    ElementRecord rec;
+    while (scan.NextElement(&rec)) out.push_back(rec.code);
+    EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
+    return out;
+  }
+
+  /// Cold-cache reset between measured scans.
+  void Purge() { ASSERT_TRUE(bm_->PurgeAll().ok()); }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(ScannerReadaheadTest, ColdScanParityAndPrefetchHits) {
+  const size_t kRecords = 20 * HeapFile::kRecordsPerPage + 17;
+  HeapFile file = MakeFile(kRecords);
+
+  Purge();
+  uint64_t reads0 = disk_->stats().page_reads;
+  std::vector<uint64_t> plain = ScanAll(file);
+  uint64_t plain_reads = disk_->stats().page_reads - reads0;
+
+  bm_->set_readahead_pages(8);
+  Purge();
+  uint64_t reads1 = disk_->stats().page_reads;
+  std::vector<uint64_t> ahead = ScanAll(file);
+  uint64_t ahead_reads = disk_->stats().page_reads - reads1;
+  bm_->set_readahead_pages(0);
+
+  EXPECT_EQ(plain, ahead);
+  EXPECT_EQ(plain.size(), kRecords);
+  EXPECT_EQ(plain_reads, ahead_reads) << "page-read parity broken";
+  // The readahead scan must actually have prefetched: every chained
+  // page after the first is eligible.
+  EXPECT_GT(bm_->stats().prefetch_issued, 0u);
+  EXPECT_GT(bm_->stats().prefetch_hits, 0u);
+}
+
+TEST_F(ScannerReadaheadTest, EarlyExitLeavesNoReservedFrames) {
+  HeapFile file = MakeFile(30 * HeapFile::kRecordsPerPage);
+
+  bm_->set_readahead_pages(8);
+  Purge();
+  uint64_t before = disk_->stats().page_reads;
+  {
+    HeapFile::Scanner scan(bm_.get(), file);
+    ElementRecord rec;
+    // Consume half a page, then abandon the scan with the window full.
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(scan.NextElement(&rec));
+  }
+  // Close (via the destructor) cancelled the outstanding prefetches:
+  // no pins, unconsumed reservations dropped and counted.
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  EXPECT_GT(bm_->stats().prefetch_unused, 0u);
+  // Only consumed pages were counted: one page was fetched.
+  EXPECT_EQ(disk_->stats().page_reads - before, 1u);
+
+  // A later full scan still sees every record exactly once, and the
+  // cancelled pages count when actually read.
+  bm_->set_readahead_pages(0);
+  Purge();
+  uint64_t rescan_before = disk_->stats().page_reads;
+  EXPECT_EQ(ScanAll(file).size(), 30u * HeapFile::kRecordsPerPage);
+  EXPECT_EQ(disk_->stats().page_reads - rescan_before, file.num_pages());
+}
+
+// ---------------------------------------------------------------------
+// Error contract: a failed prefetch must surface on the consuming
+// FetchPage — the scan fails with the I/O error instead of silently
+// returning stale or missing data. Suite name carries "FaultInjection"
+// so CI's ambient-schedule job excludes it.
+
+TEST(ReadaheadFaultInjectionTest, FailedPrefetchSurfacesOnConsumingFetch) {
+  auto fault_owner = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemIoBackend>(), FaultSchedule{});
+  FaultInjectingBackend* fault = fault_owner.get();
+  auto dm = DiskManager::OpenWithBackend(std::move(fault_owner),
+                                         /*restore_frontier=*/false);
+  ASSERT_TRUE(dm.ok());
+  std::unique_ptr<DiskManager> disk(*dm);
+  // No sleeping between retries; one attempt so the sticky fault is
+  // not mistaken for a transient the retry layer would absorb anyway.
+  disk->set_retry_policy(RetryPolicy{1, 0, 0});
+  BufferManager bm(disk.get(), 64);
+  bm.set_readahead_pages(0);  // build the file synchronously
+
+  // Build a multi-page file while the device is healthy.
+  auto file = HeapFile::Create(&bm);
+  ASSERT_TRUE(file.ok());
+  {
+    HeapFile::Appender app(&bm, &file.value());
+    for (size_t i = 0; i < 5 * HeapFile::kRecordsPerPage; ++i) {
+      ASSERT_TRUE(app.AppendElement(ElementRecord{i + 1, 0, 0}).ok());
+    }
+    ASSERT_TRUE(app.Finish().ok());
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  ASSERT_TRUE(bm.PurgeAll().ok());
+
+  // Now every read fails, permanently.
+  FaultSchedule sticky;
+  sticky.seed = 1;
+  sticky.read_every = 1;
+  sticky.transient = 0;
+  fault->Arm(sticky);
+
+  bm.set_readahead_pages(4);
+  const PageId first = file->first_page();
+  ASSERT_EQ(bm.StartPrefetch(first), PrefetchResult::kStarted);
+  bm.DrainAsyncIo();  // the prefetch job has now failed in background
+
+  // The failure was latched, not dropped: the consuming fetch reports
+  // it (and counts the attempted read, like a synchronous miss would).
+  uint64_t reads_before = disk->stats().page_reads;
+  auto fetched = bm.FetchPage(first);
+  EXPECT_FALSE(fetched.ok());
+  EXPECT_EQ(disk->stats().page_reads - reads_before, 1u);
+
+  // A full scan over the broken device fails loudly too.
+  HeapFile::Scanner scan(&bm, *file);
+  ElementRecord rec;
+  while (scan.NextElement(&rec)) {
+  }
+  EXPECT_FALSE(scan.status().ok());
+
+  fault->Disarm();
+  bm.set_readahead_pages(0);
+}
+
+}  // namespace
+}  // namespace pbitree

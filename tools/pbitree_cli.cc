@@ -8,7 +8,8 @@
 //                                        chaining containment joins
 //
 // Run `pbitree_cli <command> --help` for per-command options. Global
-// flags: `--backend=file|mem` selects the storage backend through the
+// flags: `--backend=file|mem|async-file|async-mem` selects the storage
+// backend through the
 // IoBackend factory (file — the default — persists at <db>; mem runs
 // the same commands against a volatile in-memory store, useful for
 // benchmarking the algorithms without touching disk). `--threads N`
@@ -53,13 +54,21 @@ constexpr size_t kPoolPages = 1024;
 
 /// Flags shared by every subcommand.
 struct GlobalOptions {
-  std::string backend = "file";  // file | mem (IoBackend factory kinds)
+  std::string backend = "file";  // IoBackend factory kinds (file | mem |
+                                 // async-file | async-mem)
   std::string server;            // host:port — route to pbitree_serverd
   std::string alg = "auto";      // server mode: algorithm to request
   size_t threads = 1;
+  int readahead = -1;  // scan readahead pages; -1 = pool default
   bool metrics = false;
   bool help = false;
 };
+
+/// Whether `kind` persists to a file on disk (the async decorator keeps
+/// the inner kind's persistence semantics).
+bool IsPersistentBackend(const std::string& kind) {
+  return kind == "file" || kind == "async-file";
+}
 
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
@@ -78,8 +87,9 @@ StatusOr<DiskManager*> OpenDb(const GlobalOptions& g,
                               const std::string& db_path) {
   auto backend = MakeIoBackend(g.backend, db_path);
   PBITREE_RETURN_IF_ERROR(backend.status());
-  return DiskManager::OpenWithBackend(std::move(*backend),
-                                      /*restore_frontier=*/g.backend == "file");
+  return DiskManager::OpenWithBackend(
+      std::move(*backend),
+      /*restore_frontier=*/IsPersistentBackend(g.backend));
 }
 
 int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
@@ -229,6 +239,9 @@ int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
   RunOptions opts;
   opts.work_pages = kPoolPages / 2;
   opts.threads = g.threads;
+  if (g.readahead >= 0) {
+    opts.readahead_pages = static_cast<size_t>(g.readahead);
+  }
   ElementSetProvider provider = [&](const std::string& tag) {
     return catalog->Get(&bm, tag);
   };
@@ -270,7 +283,11 @@ struct Subcommand {
 };
 
 constexpr const char* kCommonOptions =
-    "  --backend=file|mem  storage backend (default file; mem is volatile)\n"
+    "  --backend=KIND      storage backend: file|mem|async-file|async-mem\n"
+    "                      (default file; mem is volatile; async-* routes\n"
+    "                      transfers through a worker-thread queue)\n"
+    "  --readahead N       scan readahead window in pages (default: the\n"
+    "                      pool's PBITREE_READAHEAD_PAGES; 0 = synchronous)\n"
     "  --help              show this help\n";
 
 const Subcommand kSubcommands[] = {
@@ -333,6 +350,14 @@ int main(int argc, char** argv) {
       g.threads = n < 1 ? 1 : static_cast<size_t>(n);
       continue;
     }
+    if (std::strcmp(arg, "--readahead") == 0 && i + 1 < argc) {
+      g.readahead = static_cast<int>(std::atol(argv[++i]));
+      continue;
+    }
+    if (std::strncmp(arg, "--readahead=", 12) == 0) {
+      g.readahead = static_cast<int>(std::atol(arg + 12));
+      continue;
+    }
     if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
       g.backend = argv[++i];
       continue;
@@ -367,8 +392,9 @@ int main(int argc, char** argv) {
     PrintGlobalUsage(argv[0], g.help ? stdout : stderr);
     return g.help ? 0 : 2;
   }
-  if (g.backend != "file" && g.backend != "mem") {
-    return Usage("--backend must be file or mem");
+  if (g.backend != "file" && g.backend != "mem" &&
+      g.backend != "async-file" && g.backend != "async-mem") {
+    return Usage("--backend must be file, mem, async-file or async-mem");
   }
 
   for (const Subcommand& sc : kSubcommands) {

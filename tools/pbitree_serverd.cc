@@ -1,6 +1,6 @@
 // pbitree_serverd — the long-lived query service daemon.
 //
-//   pbitree_serverd <db> [--backend=file|mem]
+//   pbitree_serverd <db> [--backend=file|mem|async-file|async-mem]
 //
 // Loads the catalog once, keeps the buffer pool and element-set
 // handles warm, and serves containment joins to concurrent clients
@@ -19,6 +19,10 @@
 //                                 queries                   (default 512)
 //   PBITREE_SERVE_THREADS        shared worker-pool width  (default 1)
 //   PBITREE_SERVE_POOL_PAGES     buffer-pool frames        (default 1024)
+//   PBITREE_READAHEAD_PAGES      scan readahead window in pages; 0 —
+//                                 the default — is synchronous I/O
+//                                 (picked up by the buffer pool; see
+//                                 storage/buffer_manager.h)
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, cancel queued
 // admissions, finish in-flight queries and flush their sinks, then
@@ -57,7 +61,7 @@ int main(int argc, char** argv) {
     if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(10);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s <db> [--backend=file|mem]\n", argv[0]);
+      std::printf("usage: %s <db> [--backend=file|mem|async-file|async-mem]\n", argv[0]);
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -65,12 +69,12 @@ int main(int argc, char** argv) {
     } else if (db_path.empty()) {
       db_path = arg;
     } else {
-      std::fprintf(stderr, "usage: %s <db> [--backend=file|mem]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s <db> [--backend=file|mem|async-file|async-mem]\n", argv[0]);
       return 2;
     }
   }
   if (db_path.empty()) {
-    std::fprintf(stderr, "usage: %s <db> [--backend=file|mem]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <db> [--backend=file|mem|async-file|async-mem]\n", argv[0]);
     return 2;
   }
 
@@ -93,7 +97,8 @@ int main(int argc, char** argv) {
     auto io = MakeIoBackend(backend, db_path);
     PBITREE_RETURN_IF_ERROR(io.status());
     return DiskManager::OpenWithBackend(std::move(*io),
-                                        /*restore_frontier=*/backend == "file");
+                                        /*restore_frontier=*/backend == "file" ||
+                                            backend == "async-file");
   }();
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<DiskManager> disk(*opened);
