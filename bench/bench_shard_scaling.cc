@@ -1,0 +1,254 @@
+// Code-space sharding scaling sweep: the same containment join run
+// against the same data stored at segment levels l = 0..3 (1 to 8
+// segment files), serial and parallel. Reports simulated elapsed time
+// (wall + sim_io_ms * page I/O, the paper's disk-bound regime),
+// page reads and output throughput per segment count.
+//
+// Level 0 is the pre-sharding single-file layout; the sweep therefore
+// measures exactly what the sharded layout buys (scatter-gather
+// parallelism across per-segment pools) and what it costs (ancestor
+// replicas at the cut, smaller per-segment pools). The pair count must
+// be identical at every level — the bench exits nonzero on any
+// mismatch, so CI can use it as a differential assertion as well.
+//
+// Extra knobs on top of bench_common.h:
+//   PBITREE_BENCH_REPS    (default 3): timed repetitions; best wins.
+//   PBITREE_BENCH_THREADS (default min(4, hw)): parallel-sweep width.
+//   PBITREE_BENCH_JSON    (default BENCH_shard_scaling.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "datagen/synthetic.h"
+#include "join/result_sink.h"
+#include "storage/segment_store.h"
+
+using namespace pbitree;
+using namespace pbitree::bench;
+
+namespace {
+
+struct LevelRow {
+  int level = 0;
+  size_t segments = 1;
+  uint64_t pairs = 0;
+  uint64_t stored_records = 0;  // natives + ancestor replicas
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  uint64_t serial_page_reads = 0;
+  uint64_t parallel_page_reads = 0;
+
+  double Speedup() const { return serial_seconds / parallel_seconds; }
+  double PairsPerSecond() const {
+    return parallel_seconds > 0.0 ? static_cast<double>(pairs) /
+                                        parallel_seconds
+                                  : 0.0;
+  }
+};
+
+RunResult MustRunSegmented(SegmentStore* store, const SegmentedSet& a,
+                           const SegmentedSet& d, const RunOptions& opts) {
+  CountingSink sink;
+  auto run = RunSegmentedJoin(Algorithm::kVpj, store->main_bm(), a, d, &sink,
+                              opts);
+  if (!run.ok()) {
+    std::fprintf(stderr, "VPJ at level %d: %s\n", a.level,
+                 run.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *run;
+}
+
+/// Best simulated time over `reps` cold repetitions.
+template <typename Body>
+RunResult BestOf(int reps, Body&& body) {
+  RunResult best;
+  best.simulated_seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    RunResult run = body();
+    if (run.simulated_seconds < best.simulated_seconds) best = run;
+  }
+  return best;
+}
+
+void WriteJson(const std::string& path, const BenchConfig& cfg,
+               size_t threads, const std::vector<LevelRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"shard_scaling\",\n  \"scale\": %g,\n"
+               "  \"sim_io_ms\": %g,\n  \"parallel_threads\": %zu,\n"
+               "  \"results\": [\n",
+               cfg.scale, cfg.sim_io_ms, threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LevelRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"level\": %d, \"segments\": %zu, \"pairs\": %llu, "
+        "\"stored_records\": %llu, \"serial_ms\": %.3f, "
+        "\"parallel_ms\": %.3f, \"speedup\": %.3f, "
+        "\"pairs_per_second\": %.1f, \"page_reads_serial\": %llu, "
+        "\"page_reads_parallel\": %llu}%s\n",
+        r.level, r.segments, static_cast<unsigned long long>(r.pairs),
+        static_cast<unsigned long long>(r.stored_records),
+        r.serial_seconds * 1e3, r.parallel_seconds * 1e3, r.Speedup(),
+        r.PairsPerSecond(),
+        static_cast<unsigned long long>(r.serial_page_reads),
+        static_cast<unsigned long long>(r.parallel_page_reads),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  const int reps =
+      static_cast<int>(EnvInt64Checked("PBITREE_BENCH_REPS", 3, 1, 1000));
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t threads = static_cast<size_t>(
+      EnvInt64Checked("PBITREE_BENCH_THREADS",
+                      static_cast<int64_t>(std::min<size_t>(4, hw)), 1, 256));
+  const char* json_env = std::getenv("PBITREE_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_shard_scaling.json";
+
+  // The canonical multi-height shape (every element far below the
+  // cuts, so segments partition the data cleanly — the regime sharding
+  // targets; the replication cost at the cut is covered by the
+  // differential suite in tests/segment_test.cc).
+  SyntheticSpec spec;
+  spec.tree_height = 40;
+  spec.a_count = static_cast<uint64_t>(std::max(1e6 * cfg.scale, 2000.0));
+  spec.d_count = spec.a_count;
+  spec.a_heights = {10, 11, 12};
+  spec.d_heights = {2, 3};
+  spec.match_fraction = 0.5;
+  spec.seed = cfg.seed;
+
+  const size_t pool = std::max<size_t>(cfg.DefaultBufferPages(), 64);
+  Env scratch(pool);
+  auto ds = GenerateSynthetic(scratch.bm.get(), spec);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generate: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== VPJ vs segment count (code-space sharding) ===\n");
+  std::printf("scale=%g  |A|=|D|=%llu  pool=%zu pages  threads=%zu  reps=%d\n\n",
+              cfg.scale, static_cast<unsigned long long>(spec.a_count), pool,
+              threads, reps);
+
+  RunOptions opts;
+  opts.work_pages = pool;
+  opts.cold_cache = true;  // every rep pays the full I/O
+  opts.simulated_io_ms = cfg.sim_io_ms;
+
+  std::vector<LevelRow> rows;
+  for (int level : {0, 1, 2, 3}) {
+    SegmentStore::Options sopts;
+    sopts.backend = "mem";
+    sopts.pool_pages = pool;
+    sopts.create_level = level;
+    auto store = SegmentStore::Open(sopts);
+    if (!store.ok()) {
+      std::fprintf(stderr, "open level %d: %s\n", level,
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    if (Status st = (*store)->StoreSet("a", ds->a, scratch.bm.get());
+        !st.ok()) {
+      std::fprintf(stderr, "store a: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (Status st = (*store)->StoreSet("d", ds->d, scratch.bm.get());
+        !st.ok()) {
+      std::fprintf(stderr, "store d: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto a = (*store)->Load("a");
+    auto d = (*store)->Load("d");
+    if (!a.ok() || !d.ok()) {
+      std::fprintf(stderr, "load at level %d failed\n", level);
+      return 1;
+    }
+
+    LevelRow row;
+    row.level = level;
+    row.segments = (*store)->num_segments();
+    for (const SegmentedSet::Segment& piece : a->segments) {
+      row.stored_records += piece.set.num_records();
+    }
+    for (const SegmentedSet::Segment& piece : d->segments) {
+      row.stored_records += piece.set.num_records();
+    }
+
+    RunOptions serial = opts;
+    serial.threads = 1;
+    RunResult sr = BestOf(reps, [&] {
+      return MustRunSegmented(store->get(), *a, *d, serial);
+    });
+    RunOptions par = opts;
+    par.threads = threads;
+    RunResult pr = BestOf(reps, [&] {
+      return MustRunSegmented(store->get(), *a, *d, par);
+    });
+
+    if (sr.output_pairs != pr.output_pairs) {
+      std::fprintf(stderr, "PARITY FAILURE: level %d serial %llu pairs vs "
+                           "parallel %llu\n",
+                   level, static_cast<unsigned long long>(sr.output_pairs),
+                   static_cast<unsigned long long>(pr.output_pairs));
+      return 1;
+    }
+    row.pairs = sr.output_pairs;
+    row.serial_seconds = sr.simulated_seconds;
+    row.parallel_seconds = pr.simulated_seconds;
+    row.serial_page_reads = sr.page_reads;
+    row.parallel_page_reads = pr.page_reads;
+    rows.push_back(row);
+  }
+
+  bool ok = true;
+  for (const LevelRow& r : rows) {
+    if (r.pairs != rows.front().pairs) {
+      std::fprintf(stderr,
+                   "PARITY FAILURE: level %d produced %llu pairs, level 0 "
+                   "produced %llu\n",
+                   r.level, static_cast<unsigned long long>(r.pairs),
+                   static_cast<unsigned long long>(rows.front().pairs));
+      ok = false;
+    }
+  }
+
+  std::printf("%-6s %9s %10s %10s %10s %8s %12s %9s %9s\n", "level",
+              "segments", "stored", "serial", "parallel", "speedup",
+              "pairs/s", "reads(s)", "reads(p)");
+  PrintRule(92);
+  for (const LevelRow& r : rows) {
+    std::printf("%-6d %9zu %10llu %10s %10s %7.2fx %12.0f %9llu %9llu\n",
+                r.level, r.segments,
+                static_cast<unsigned long long>(r.stored_records),
+                FormatSeconds(r.serial_seconds).c_str(),
+                FormatSeconds(r.parallel_seconds).c_str(), r.Speedup(),
+                r.PairsPerSecond(),
+                static_cast<unsigned long long>(r.serial_page_reads),
+                static_cast<unsigned long long>(r.parallel_page_reads));
+  }
+
+  WriteJson(json_path, cfg, threads, rows);
+  std::printf("\nresults -> %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

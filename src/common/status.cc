@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "RetryExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kSlackExhausted:
+      return "SlackExhausted";
   }
   return "Unknown";
 }

@@ -25,6 +25,8 @@ enum class StatusCode {
   kInternal,
   kRetryExhausted,  // a transient I/O fault persisted past the retry budget
   kCancelled,       // cooperative cancellation (a sibling partition failed)
+  kSlackExhausted,  // dynamic insert found no free code slot under the
+                    // parent — the caller must re-binarize with more slack
 };
 
 /// \brief Lightweight status object carrying an error code and message.
@@ -67,9 +69,15 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status SlackExhausted(std::string msg) {
+    return Status(StatusCode::kSlackExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsSlackExhausted() const {
+    return code_ == StatusCode::kSlackExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 

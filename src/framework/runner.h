@@ -13,6 +13,7 @@
 #include "join/join_context.h"
 #include "join/mhcj_rollup.h"
 #include "join/result_sink.h"
+#include "join/segmented_set.h"
 #include "join/vpj.h"
 #include "obs/metrics.h"
 
@@ -151,6 +152,33 @@ StatusOr<MinRgnResult> RunMinRgn(BufferManager* bm, const ElementSet& a,
 StatusOr<RunResult> RunAuto(BufferManager* bm, const ElementSet& a,
                           const ElementSet& d, ResultSink* sink,
                           const RunOptions& options);
+
+/// \brief Scatter-gather execution over a code-space-sharded pair: the
+/// join runs independently on each matching segment pair (segment k of
+/// A against segment k of D — the VPJ lemma guarantees no cross-segment
+/// pair exists) and the per-segment results merge through the
+/// ParallelPartitions order-preserving fan-in, so the emitted sequence
+/// equals the serial segment-order concatenation.
+///
+/// Both sets must come from the same SegmentStore (matching level and
+/// per-segment pools). Ancestor replicas stay in the A input (the lemma
+/// needs them) but are filtered from the D input of each segment, so
+/// every result pair is produced exactly once. `spill_bm` (normally the
+/// store's main pool) serves the fan-in's spill files. Level 0 is
+/// delegated to RunJoin unchanged — byte-identical results and page-I/O
+/// to the unsegmented layout.
+StatusOr<RunResult> RunSegmentedJoin(Algorithm alg, BufferManager* spill_bm,
+                                     const SegmentedSet& a,
+                                     const SegmentedSet& d, ResultSink* sink,
+                                     const RunOptions& options);
+
+/// Table-1 selection over a segmented pair (segment pieces carry no
+/// prebuilt indexes, so the choice reduces to sortedness and the
+/// ancestor height profile), then RunSegmentedJoin.
+StatusOr<RunResult> RunSegmentedAuto(BufferManager* spill_bm,
+                                     const SegmentedSet& a,
+                                     const SegmentedSet& d, ResultSink* sink,
+                                     const RunOptions& options);
 
 }  // namespace pbitree
 

@@ -1,0 +1,106 @@
+#ifndef PBITREE_JOIN_SEGMENTED_SET_H_
+#define PBITREE_JOIN_SEGMENTED_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "join/element_set.h"
+#include "pbitree/code.h"
+#include "storage/buffer_manager.h"
+
+namespace pbitree {
+
+/// \brief Code-space sharding of element sets (the VPJ lemma promoted
+/// from a join-time trick to a storage layout).
+///
+/// Cutting the PBiTree at level `l` yields 2^l disjoint subtrees whose
+/// roots sit at height `h_cut = spec.height - 1 - l`; subtree `alpha`
+/// covers exactly the leaves whose h_cut-ancestor is node
+/// `(2*alpha + 1) << h_cut`. An element whose height is <= h_cut lies
+/// entirely inside one subtree — its segment. An element above the cut
+/// spans several subtrees and is *replicated* into every segment it
+/// covers (the VPJ lemma: an ancestor must meet each descendant inside
+/// some cut subtree, so per-segment joins of replicated-ancestor pieces
+/// produce exactly the global result with no cross-segment pairs). The
+/// first covered segment is the element's *designated* segment; pieces
+/// are deduplicated against it wherever natives-only views are needed
+/// (descendant inputs, merged reads, record accounting).
+
+/// Height of the cut nodes for sharding level `l` (must be >= 0, i.e.
+/// l <= spec.height - 1).
+inline int SegmentCutHeight(const PBiTreeSpec& spec, int level) {
+  return spec.height - 1 - level;
+}
+
+/// Segment index (alpha) of the cut subtree containing leaf `leaf_code`.
+inline uint64_t SegmentOfLeaf(uint64_t leaf_code, int h_cut) {
+  return AncestorAtHeight(leaf_code, h_cut) >> (h_cut + 1);
+}
+
+/// The designated (first covered) segment of `code`.
+inline uint64_t DesignatedSegment(Code code, int h_cut) {
+  return SegmentOfLeaf(StartOf(code), h_cut);
+}
+
+/// Inclusive range of segments `code`'s subtree covers. A single
+/// segment ([lo == hi]) iff HeightOf(code) <= h_cut.
+struct SegmentSpan {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+inline SegmentSpan SegmentSpanOf(Code code, int h_cut) {
+  if (HeightOf(code) <= h_cut) {
+    uint64_t s = DesignatedSegment(code, h_cut);
+    return {s, s};
+  }
+  return {SegmentOfLeaf(StartOf(code), h_cut),
+          SegmentOfLeaf(EndOf(code), h_cut)};
+}
+
+/// True when segment piece `piece` may contain ancestor replicas at
+/// all: only elements above the cut replicate, so a piece whose height
+/// mask stays at or below h_cut is replica-free by construction.
+inline bool PieceMayHoldReplicas(const ElementSet& piece, int h_cut) {
+  return h_cut < 63 && (piece.height_mask >> (h_cut + 1)) != 0;
+}
+
+/// \brief A segmented element set: one stored piece per cut subtree,
+/// each on its own segment file / buffer pool, plus the aggregate
+/// metadata of the native (unreplicated) record population.
+struct SegmentedSet {
+  struct Segment {
+    ElementSet set;               ///< stored piece incl. ancestor replicas
+    BufferManager* bm = nullptr;  ///< pool owning the piece's pages
+    bool has_replicas = false;    ///< piece holds foreign-designated replicas
+  };
+
+  int level = 0;  ///< code-space sharding level l (2^level segments)
+  PBiTreeSpec spec;
+  bool sorted_by_start = false;
+  uint64_t num_records = 0;  ///< natives only — replicas excluded
+  uint64_t height_mask = 0;
+  uint64_t min_start = UINT64_MAX;
+  uint64_t max_end = 0;
+  std::vector<Segment> segments;
+
+  size_t num_segments() const { return segments.size(); }
+  int cut_height() const { return SegmentCutHeight(spec, level); }
+  bool SingleHeight() const {
+    return height_mask != 0 && (height_mask & (height_mask - 1)) == 0;
+  }
+};
+
+/// Materializes the natives-only view of segment `k`'s piece on `bm`
+/// (a temp file the caller must Drop): records above the cut whose
+/// designated segment differs from `k` — the ancestor replicas — are
+/// skipped. Callers should first check Segment::has_replicas (or
+/// PieceMayHoldReplicas) and use the stored piece zero-copy when no
+/// replica can exist, which is the common case for descendant inputs.
+StatusOr<ElementSet> FilterSegmentReplicas(BufferManager* bm,
+                                           const ElementSet& piece,
+                                           uint64_t k, int h_cut);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_JOIN_SEGMENTED_SET_H_

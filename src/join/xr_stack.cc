@@ -48,7 +48,6 @@ Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
         // stab lists and jump the cursor past the run.
         ++ctx->stats.index_probes;
         stack.clear();
-        Status emit_status;
         PBITREE_RETURN_IF_ERROR(a_tree.StabPath(
             ctx->bm, d_start, [&](const ElementRecord& rec) {
               // Elements with Start == d_start will arrive via the
@@ -56,7 +55,6 @@ Status XrStackJoin(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
               // strictly-open ones here to avoid duplicates.
               if (StartOf(rec.code) < d_start) stack.push_back(rec.code);
             }));
-        (void)emit_status;
         PBITREE_RETURN_IF_ERROR(a_cur.SeekTo(d_start));
         continue;
       }

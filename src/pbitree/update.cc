@@ -35,7 +35,7 @@ Result<Code> AllocateChildCode(Code parent, const std::vector<Code>& siblings,
   }
   const int parent_height = HeightOf(parent);
   if (parent_height == 0) {
-    return Status::ResourceExhausted(
+    return Status::SlackExhausted(
         "parent is a PBiTree leaf: no room below (re-binarize with slack)");
   }
 
@@ -91,7 +91,7 @@ Result<Code> AllocateChildCode(Code parent, const std::vector<Code>& siblings,
       c = next;
     }
   }
-  return Status::ResourceExhausted(
+  return Status::SlackExhausted(
       "no free slot under parent " + std::to_string(parent) +
       "; re-binarize with more slack levels");
 }

@@ -23,9 +23,11 @@ namespace pbitree {
 ///  2. is not equal to, an ancestor of, or a descendant of any existing
 ///     sibling subtree (so the new element is exactly a child),
 /// preferring the siblings' level (the Algorithm-1 placement heuristic)
-/// and descending level by level when that level is full. Returns
-/// ResourceExhausted when the subtree has no free slot left (the
-/// document must then be re-binarized with more slack).
+/// and descending level by level when that level is full. Returns the
+/// typed SlackExhausted condition (Status::IsSlackExhausted) when the
+/// subtree has no free slot left — the document must then be
+/// re-binarized with more slack, and callers such as the segment layer
+/// can detect the condition and trigger that fallback.
 Result<Code> AllocateChildCode(Code parent, const std::vector<Code>& siblings,
                                const PBiTreeSpec& spec);
 

@@ -57,6 +57,11 @@ Server::Server(BufferManager* bm, Catalog catalog, ServeConfig cfg)
       cfg_(cfg),
       admission_(cfg.max_concurrent, cfg.queue_depth) {}
 
+Server::Server(SegmentStore* store, ServeConfig cfg)
+    : Server(store->main_bm(), *store->main_catalog(), cfg) {
+  store_ = store;
+}
+
 Server::~Server() {
   if (started_.load()) (void)Shutdown();
 }
@@ -71,8 +76,14 @@ Status Server::Start() {
 
   // Warm up: attach every catalogued set once. After this the daemon
   // never touches the catalog again — repeated queries hit these
-  // handles and whatever pages the pool has retained.
+  // handles and whatever pages the pool has retained. Master entries
+  // of a segmented store warm as SegmentedSet handles instead.
   for (const std::string& name : catalog_.Names()) {
+    if (store_ != nullptr && catalog_.IsSegmented(name)) {
+      PBITREE_ASSIGN_OR_RETURN(SegmentedSet set, store_->Load(name));
+      seg_sets_.emplace(name, std::move(set));
+      continue;
+    }
     PBITREE_ASSIGN_OR_RETURN(ElementSet set, catalog_.Get(bm_, name));
     sets_.emplace(name, set);
   }
@@ -139,8 +150,10 @@ Status Server::Shutdown() {
   CloseIfOpen(&wake_pipe_[1]);
   started_.store(false);
   // Durability barrier: every query ran with flush_pool=false, so the
-  // pool may hold dirty pages. No queries are running now, making the
-  // pool-wide flush safe; Sync pushes it through the backend.
+  // pools may hold dirty pages. No queries are running now, making the
+  // pool-wide flush safe; Sync pushes it through the backend. A
+  // segment store flushes and syncs every segment file too.
+  if (store_ != nullptr) return store_->FlushAndSync();
   PBITREE_RETURN_IF_ERROR(bm_->FlushAll());
   return bm_->disk()->Sync();
 }
@@ -257,6 +270,12 @@ Status Server::HandleRequest(int fd, const Request& req) {
       out += std::to_string(set.num_records());
       out += '\n';
     }
+    for (const auto& [name, set] : seg_sets_) {
+      out += name;
+      out += ' ';
+      out += std::to_string(set.num_records);
+      out += '\n';
+    }
     return WriteFrame(fd, FrameType::kText, out);
   }
   if (req.op == "metrics") {
@@ -280,10 +299,18 @@ Status Server::HandleJoin(int fd, const Request& req) {
     auto it = sets_.find(tag);
     return it == sets_.end() ? nullptr : &it->second;
   };
+  auto find_seg = [&](const std::string& tag) -> const SegmentedSet* {
+    auto it = seg_sets_.find(tag);
+    return it == seg_sets_.end() ? nullptr : &it->second;
+  };
   const ElementSet* a = find_set(a_it->second);
   const ElementSet* d = find_set(d_it->second);
-  if (a == nullptr || d == nullptr) {
-    const std::string& missing = a == nullptr ? a_it->second : d_it->second;
+  const SegmentedSet* seg_a = find_seg(a_it->second);
+  const SegmentedSet* seg_d = find_seg(d_it->second);
+  const bool segmented = seg_a != nullptr && seg_d != nullptr;
+  if (!segmented && (a == nullptr || d == nullptr)) {
+    const std::string& missing =
+        (a == nullptr && seg_a == nullptr) ? a_it->second : d_it->second;
     return WriteFrame(fd, FrameType::kError,
                       EncodeError(Status::NotFound("no element set named '" +
                                                    missing + "'")));
@@ -314,9 +341,13 @@ Status Server::HandleJoin(int fd, const Request& req) {
   options.shared_exec = exec_.get();
   options.flush_pool = false;  // phase op; see RunOptions::flush_pool
   SocketSink sink(fd);
-  StatusOr<RunResult> run = is_auto
-                                ? RunAuto(bm_, *a, *d, &sink, options)
-                                : RunJoin(alg, bm_, *a, *d, &sink, options);
+  StatusOr<RunResult> run =
+      segmented
+          ? (is_auto ? RunSegmentedAuto(bm_, *seg_a, *seg_d, &sink, options)
+                     : RunSegmentedJoin(alg, bm_, *seg_a, *seg_d, &sink,
+                                        options))
+          : (is_auto ? RunAuto(bm_, *a, *d, &sink, options)
+                     : RunJoin(alg, bm_, *a, *d, &sink, options));
   if (!run.ok()) {
     // If the sink died the socket is gone — fail the connection; any
     // other failure is reported to the (still healthy) client.

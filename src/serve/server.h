@@ -14,11 +14,13 @@
 #include "common/status.h"
 #include "exec/exec_context.h"
 #include "join/element_set.h"
+#include "join/segmented_set.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "storage/buffer_manager.h"
 #include "storage/catalog.h"
+#include "storage/segment_store.h"
 
 namespace pbitree {
 namespace serve {
@@ -76,6 +78,12 @@ struct ServeConfig {
 class Server {
  public:
   Server(BufferManager* bm, Catalog catalog, ServeConfig cfg);
+  /// Serves a (possibly code-space-sharded) SegmentStore: master-entry
+  /// sets are warmed as SegmentedSet handles and joined through the
+  /// scatter-gather path; ordinary entries behave as before. The caller
+  /// keeps ownership and must keep the store alive for the server's
+  /// lifetime; Shutdown's durability barrier covers every segment file.
+  Server(SegmentStore* store, ServeConfig cfg);
   ~Server();
 
   Server(const Server&) = delete;
@@ -132,12 +140,17 @@ class Server {
   BufferManager* bm_;
   Catalog catalog_;
   ServeConfig cfg_;
+  /// Borrowed segment store (null when constructed from a bare pool +
+  /// catalog). Owns the per-segment pools the segmented joins run on.
+  SegmentStore* store_ = nullptr;
 
   obs::MetricRegistry registry_;
   AdmissionController admission_;
   std::unique_ptr<ExecContext> exec_;
   /// Warm handles to every catalogued set, loaded once in Start().
   std::map<std::string, ElementSet> sets_;
+  /// Warm handles to the segmented (master-entry) sets.
+  std::map<std::string, SegmentedSet> seg_sets_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};

@@ -39,6 +39,9 @@ StatusOr<Catalog> Catalog::Load(BufferManager* bm) {
   }
   uint32_t count = GetAt<uint32_t>(data, 12);
   uint32_t frontier = GetAt<uint32_t>(data, 16);
+  // Offset 20 was zero padding before code-space sharding, so every
+  // pre-sharding database reads back as segment level 0 (unsegmented).
+  cat.segment_level_ = GetAt<uint32_t>(data, 20);
   bm->disk()->SetFrontier(frontier);
   if (count > kMaxEntries) {
     PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
@@ -89,6 +92,7 @@ Status Catalog::Save(BufferManager* bm) {
     ++i;
   }
   PutAt<uint32_t>(data, 16, bm->disk()->frontier());
+  PutAt<uint32_t>(data, 20, segment_level_);
   PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));
   std::memcpy(p->data(), data, kPageSize);
   PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, /*dirty=*/true));
@@ -98,7 +102,8 @@ Status Catalog::Save(BufferManager* bm) {
   return bm->disk()->Sync();
 }
 
-Status Catalog::Put(const std::string& name, const ElementSet& set) {
+Status Catalog::Put(const std::string& name, const ElementSet& set,
+                    uint32_t extra_flags) {
   if (name.empty() || name.size() > kMaxNameLen) {
     return Status::InvalidArgument("catalog name must be 1..31 bytes");
   }
@@ -113,7 +118,8 @@ Status Catalog::Put(const std::string& name, const ElementSet& set) {
   e.num_records = set.num_records();
   e.num_pages = set.num_pages();
   e.tree_height = set.spec.height;
-  e.flags = set.sorted_by_start ? 1u : 0u;
+  e.flags = (set.sorted_by_start ? kFlagSorted : 0u) |
+            (extra_flags & ~kFlagSorted & ~kFlagSegmented);
   e.height_mask = set.height_mask;
   e.min_start = set.min_start;
   e.max_end = set.max_end;
@@ -128,6 +134,11 @@ StatusOr<ElementSet> Catalog::Get(BufferManager* bm,
     return Status::NotFound("no element set named '" + name + "'");
   }
   const Entry& e = it->second;
+  if ((e.flags & kFlagSegmented) != 0) {
+    return Status::InvalidArgument(
+        "element set '" + name +
+        "' is segmented; open it through a SegmentStore");
+  }
   PBITREE_ASSIGN_OR_RETURN(HeapFile file,
                            HeapFile::Attach(bm, e.first_page));
   if (file.num_records() != e.num_records) {
@@ -142,6 +153,63 @@ StatusOr<ElementSet> Catalog::Get(BufferManager* bm,
   set.min_start = e.min_start;
   set.max_end = e.max_end;
   return set;
+}
+
+StatusOr<uint32_t> Catalog::EntryFlags(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no element set named '" + name + "'");
+  }
+  return it->second.flags;
+}
+
+Status Catalog::PutMaster(const std::string& name,
+                          const SegmentedSetInfo& info) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return Status::InvalidArgument("catalog name must be 1..31 bytes");
+  }
+  if (entries_.count(name) == 0 && entries_.size() >= kMaxEntries) {
+    return Status::ResourceExhausted("catalog full (42 entries)");
+  }
+  Entry e;
+  e.first_page = kInvalidPageId;  // segment files own the pages
+  e.num_records = info.num_records;
+  e.num_pages = info.num_pages;
+  e.tree_height = info.tree_height;
+  e.flags = kFlagSegmented | (info.sorted_by_start ? kFlagSorted : 0u);
+  e.height_mask = info.height_mask;
+  e.min_start = info.min_start;
+  e.max_end = info.max_end;
+  entries_[name] = e;
+  return Status::OK();
+}
+
+StatusOr<Catalog::SegmentedSetInfo> Catalog::GetMaster(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no element set named '" + name + "'");
+  }
+  const Entry& e = it->second;
+  if ((e.flags & kFlagSegmented) == 0) {
+    return Status::InvalidArgument("element set '" + name +
+                                   "' is not segmented");
+  }
+  SegmentedSetInfo info;
+  info.num_records = e.num_records;
+  info.num_pages = e.num_pages;
+  info.tree_height = e.tree_height;
+  info.sorted_by_start = (e.flags & kFlagSorted) != 0;
+  info.height_mask = e.height_mask;
+  info.min_start = e.min_start;
+  info.max_end = e.max_end;
+  return info;
+}
+
+bool Catalog::IsSegmented(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() &&
+         (it->second.flags & kFlagSegmented) != 0;
 }
 
 Status Catalog::Remove(const std::string& name) {

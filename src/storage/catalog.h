@@ -23,10 +23,25 @@ namespace pbitree {
 /// lists are not persisted (reclaim space by offline compaction).
 ///
 /// Capacity: 42 entries (one header page). Names are at most 31 bytes.
+///
+/// Code-space sharding (see storage/segment_store.h): the header also
+/// persists a store-wide `segment_level` l (offset 20, previously zero
+/// padding — files written before sharding read back as level 0, the
+/// unsegmented layout). In a segmented store the main database carries
+/// one *master* entry per set (flags bit 1, no heap pages of its own,
+/// aggregate metadata over all segments) while each of the 2^l segment
+/// files keeps an ordinary per-segment catalog of its local pieces.
 class Catalog {
  public:
   static constexpr size_t kMaxEntries = 42;
   static constexpr size_t kMaxNameLen = 31;
+
+  /// Entry flag bits.
+  static constexpr uint32_t kFlagSorted = 1u;       // sorted_by_start
+  static constexpr uint32_t kFlagSegmented = 2u;    // master entry (no pages)
+  static constexpr uint32_t kFlagHasReplicas = 4u;  // segment piece holds
+                                                    // foreign-designated
+                                                    // ancestor replicas
 
   Catalog() = default;
 
@@ -39,11 +54,46 @@ class Catalog {
   Status Save(BufferManager* bm);
 
   /// Registers (or replaces) a named element set. The set's pages are
-  /// NOT copied; the catalog only records the metadata.
-  Status Put(const std::string& name, const ElementSet& set);
+  /// NOT copied; the catalog only records the metadata. `extra_flags`
+  /// ORs additional flag bits (e.g. kFlagHasReplicas) into the entry.
+  Status Put(const std::string& name, const ElementSet& set,
+             uint32_t extra_flags = 0);
 
-  /// Reconstructs a named element set. NotFound if absent.
+  /// Reconstructs a named element set. NotFound if absent;
+  /// InvalidArgument for a master entry (open via SegmentStore).
   StatusOr<ElementSet> Get(BufferManager* bm, const std::string& name) const;
+
+  /// Raw flag bits of an entry (segment pieces carry kFlagHasReplicas).
+  StatusOr<uint32_t> EntryFlags(const std::string& name) const;
+
+  /// Aggregate metadata of a segmented set, recorded in the main
+  /// database's master entry: native record count (replicas excluded),
+  /// total stored pages (replicas included) and the union range/height
+  /// metadata the planner needs.
+  struct SegmentedSetInfo {
+    uint64_t num_records = 0;
+    uint64_t num_pages = 0;
+    int32_t tree_height = 0;
+    bool sorted_by_start = false;
+    uint64_t height_mask = 0;
+    uint64_t min_start = UINT64_MAX;
+    uint64_t max_end = 0;
+  };
+
+  /// Registers (or replaces) a master entry for a segmented set.
+  Status PutMaster(const std::string& name, const SegmentedSetInfo& info);
+
+  /// Reads a master entry back. NotFound if absent; InvalidArgument if
+  /// the entry is an ordinary (unsegmented) set.
+  StatusOr<SegmentedSetInfo> GetMaster(const std::string& name) const;
+
+  /// True when `name` exists and is a master (segmented) entry.
+  bool IsSegmented(const std::string& name) const;
+
+  /// Store-wide code-space sharding level l (2^l segment files);
+  /// 0 = unsegmented, the layout every pre-sharding database has.
+  int segment_level() const { return static_cast<int>(segment_level_); }
+  void set_segment_level(int l) { segment_level_ = static_cast<uint32_t>(l); }
 
   /// Removes an entry (the set's pages are not freed; drop them first
   /// if the data itself should go).
@@ -68,6 +118,7 @@ class Catalog {
   };
 
   std::map<std::string, Entry> entries_;
+  uint32_t segment_level_ = 0;
 };
 
 }  // namespace pbitree

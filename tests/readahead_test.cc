@@ -9,11 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/random.h"
 #include "framework/runner.h"
+#include "index/bptree.h"
+#include "index/interval_index.h"
 #include "join/element_set.h"
 #include "join/result_sink.h"
 #include "pbitree/binarize.h"
@@ -261,6 +264,158 @@ TEST_F(ScannerReadaheadTest, EarlyExitLeavesNoReservedFrames) {
   uint64_t rescan_before = disk_->stats().page_reads;
   EXPECT_EQ(ScanAll(file).size(), 30u * HeapFile::kRecordsPerPage);
   EXPECT_EQ(disk_->stats().page_reads - rescan_before, file.num_pages());
+}
+
+// ---------------------------------------------------------------------
+// Probe-path readahead: the B+-tree RangeScanner chases next-leaf
+// pointers and the interval-index stab descends interior children —
+// both now issue StartPrefetch while consuming the current page. Same
+// contract as the heap scans: identical results and page-read counts
+// with the window on or off, and no reserved frames left behind.
+
+class IndexReadaheadTest : public ScannerReadaheadTest {
+ protected:
+  /// Key-sorted multi-leaf input for BPTree::BulkLoad (code keys).
+  HeapFile MakeSortedFile(size_t records) { return MakeFile(records); }
+
+  /// Start-ordered PBiTree-coded input for IntervalIndex::BulkLoad:
+  /// preorder of the full code tree below `root` visits Starts in
+  /// non-decreasing order with every ancestor before its descendants.
+  HeapFile MakeIntervalFile(int subtree_height) {
+    auto file = HeapFile::Create(bm_.get());
+    EXPECT_TRUE(file.ok());
+    HeapFile::Appender app(bm_.get(), &file.value());
+    Code root = Code{1} << subtree_height;  // height-`subtree_height` node
+    std::function<void(Code)> emit = [&](Code c) {
+      EXPECT_TRUE(app.AppendElement(ElementRecord{c, 0, 0}).ok());
+      int h = HeightOf(c);
+      if (h == 0) return;
+      Code step = Code{1} << (h - 1);
+      emit(c - step);
+      emit(c + step);
+    };
+    emit(root);
+    EXPECT_TRUE(app.Finish().ok());
+    return *file;
+  }
+};
+
+TEST_F(IndexReadaheadTest, RangeScannerParityAndPrefetchHits) {
+  // 12 leaves at fill 1.0 — enough next-leaf hops to matter.
+  HeapFile input = MakeSortedFile(12 * BPTree::kLeafCapacity + 29);
+  auto tree = BPTree::BulkLoad(bm_.get(), input, KeyKind::kCode);
+  ASSERT_TRUE(tree.ok());
+
+  auto scan_all = [&]() -> std::vector<uint64_t> {
+    std::vector<uint64_t> out;
+    BPTree::RangeScanner scan(bm_.get(), *tree, 0, UINT64_MAX);
+    ElementRecord rec;
+    while (scan.Next(&rec)) out.push_back(rec.code);
+    EXPECT_TRUE(scan.status().ok()) << scan.status().ToString();
+    return out;
+  };
+
+  Purge();
+  uint64_t reads0 = disk_->stats().page_reads;
+  std::vector<uint64_t> plain = scan_all();
+  uint64_t plain_reads = disk_->stats().page_reads - reads0;
+
+  bm_->set_readahead_pages(8);
+  Purge();
+  uint64_t issued0 = bm_->stats().prefetch_issued;
+  uint64_t reads1 = disk_->stats().page_reads;
+  std::vector<uint64_t> ahead = scan_all();
+  uint64_t ahead_reads = disk_->stats().page_reads - reads1;
+  bm_->set_readahead_pages(0);
+
+  EXPECT_EQ(plain, ahead);
+  EXPECT_EQ(plain.size(), tree->num_entries());
+  EXPECT_EQ(plain_reads, ahead_reads) << "page-read parity broken";
+  // Every next-leaf hop was eligible for readahead.
+  EXPECT_GT(bm_->stats().prefetch_issued, issued0);
+  EXPECT_GT(bm_->stats().prefetch_hits, 0u);
+}
+
+TEST_F(IndexReadaheadTest, RangeScannerEarlyExitCancelsItsPrefetch) {
+  HeapFile input = MakeSortedFile(8 * BPTree::kLeafCapacity);
+  auto tree = BPTree::BulkLoad(bm_.get(), input, KeyKind::kCode);
+  ASSERT_TRUE(tree.ok());
+
+  bm_->set_readahead_pages(8);
+  Purge();
+  uint64_t unused0 = bm_->stats().prefetch_unused;
+  {
+    BPTree::RangeScanner scan(bm_.get(), *tree, 0, UINT64_MAX);
+    ElementRecord rec;
+    // A few entries from the first leaf: the next-leaf prefetch is in
+    // flight when the scanner is abandoned.
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(scan.Next(&rec));
+  }
+  bm_->set_readahead_pages(0);
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+  EXPECT_GT(bm_->stats().prefetch_unused, unused0);
+
+  // A bounded scan whose range ends inside the first leaf never issues
+  // a next-leaf prefetch at all.
+  Purge();
+  uint64_t issued0 = bm_->stats().prefetch_issued;
+  bm_->set_readahead_pages(8);
+  {
+    BPTree::RangeScanner scan(bm_.get(), *tree, 0, 5 * 31);
+    ElementRecord rec;
+    while (scan.Next(&rec)) {
+    }
+    EXPECT_TRUE(scan.status().ok());
+  }
+  bm_->set_readahead_pages(0);
+  EXPECT_EQ(bm_->stats().prefetch_issued, issued0);
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
+}
+
+TEST_F(IndexReadaheadTest, IntervalStabParityAcrossReadaheadSettings) {
+  // Height-11 preorder = 4095 records: 17 leaves under interior nodes,
+  // so stabs descend (and can prefetch) interior children.
+  HeapFile input = MakeIntervalFile(11);
+  auto index = IntervalIndex::BulkLoad(bm_.get(), input);
+  ASSERT_TRUE(index.ok());
+  ASSERT_GT(index->tree_height(), 1);
+
+  // Stab at every 97th leaf position across the keyspace.
+  std::vector<uint64_t> queries;
+  for (Code q = 1; q < (Code{1} << 12); q += 2 * 97) queries.push_back(q);
+
+  auto stab_all = [&]() -> std::vector<uint64_t> {
+    std::vector<uint64_t> out;
+    for (uint64_t q : queries) {
+      EXPECT_TRUE(index
+                      ->Stab(bm_.get(), q,
+                             [&](const ElementRecord& rec) {
+                               out.push_back(rec.code);
+                             })
+                      .ok());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  Purge();
+  uint64_t reads0 = disk_->stats().page_reads;
+  std::vector<uint64_t> plain = stab_all();
+  uint64_t plain_reads = disk_->stats().page_reads - reads0;
+
+  bm_->set_readahead_pages(8);
+  Purge();
+  uint64_t issued0 = bm_->stats().prefetch_issued;
+  uint64_t reads1 = disk_->stats().page_reads;
+  std::vector<uint64_t> ahead = stab_all();
+  uint64_t ahead_reads = disk_->stats().page_reads - reads1;
+  bm_->set_readahead_pages(0);
+
+  EXPECT_EQ(plain, ahead);
+  EXPECT_GT(plain.size(), queries.size());  // every stab hits ancestors
+  EXPECT_EQ(plain_reads, ahead_reads) << "page-read parity broken";
+  EXPECT_GT(bm_->stats().prefetch_issued, issued0);
+  EXPECT_EQ(bm_->PinnedFrames(), 0u);
 }
 
 // ---------------------------------------------------------------------

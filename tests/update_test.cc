@@ -85,7 +85,8 @@ TEST(AllocateChildCodeTest, ReportsExhaustion) {
   while (true) {
     auto code = AllocateChildCode(parent, siblings, spec);
     if (!code.ok()) {
-      EXPECT_EQ(code.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_TRUE(code.status().IsSlackExhausted())
+          << code.status().ToString();
       break;
     }
     siblings.push_back(*code);
@@ -97,7 +98,8 @@ TEST(AllocateChildCodeTest, ReportsExhaustion) {
 TEST(AllocateChildCodeTest, LeafParentIsExhaustedImmediately) {
   PBiTreeSpec spec{5};
   auto code = AllocateChildCode(1, {}, spec);  // 1 is a leaf
-  EXPECT_EQ(code.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(code.status().code(), StatusCode::kSlackExhausted);
+  EXPECT_TRUE(code.status().IsSlackExhausted());
 }
 
 TEST(AllocateChildCodeTest, RejectsForeignSiblings) {
@@ -142,6 +144,41 @@ TEST(InsertElementTest, InsertIntoSlackBinarizedDocument) {
   CheckEmbedding(tree, spec);
 }
 
+TEST(InsertElementTest, FullyPackedParentSurfacesSlackExhausted) {
+  // A parent whose subtree is completely packed: InsertElement must
+  // surface the typed SlackExhausted condition (not a generic error),
+  // leave the tree untouched, and keep the embedding intact.
+  DataTree tree;
+  tree.CreateRoot("r");
+  PBiTreeSpec spec;
+  BinarizeOptions opts;
+  opts.forced_height = 4;  // tiny code space: root subtree packs quickly
+  ASSERT_TRUE(BinarizeTree(&tree, &spec, opts).ok());
+
+  size_t inserted = 0;
+  Status exhausted;
+  while (true) {
+    auto id = InsertElement(&tree, tree.root(), "n", spec);
+    if (!id.ok()) {
+      exhausted = id.status();
+      break;
+    }
+    ++inserted;
+    ASSERT_LE(inserted, size_t{1} << spec.height)
+        << "allocator ran past the code space";
+  }
+  EXPECT_GT(inserted, 0u);
+  EXPECT_TRUE(exhausted.IsSlackExhausted()) << exhausted.ToString();
+  EXPECT_EQ(exhausted.code(), StatusCode::kSlackExhausted);
+
+  // The failed insert must not have added a node.
+  const size_t size_at_failure = tree.size();
+  auto again = InsertElement(&tree, tree.root(), "n", spec);
+  EXPECT_TRUE(again.status().IsSlackExhausted());
+  EXPECT_EQ(tree.size(), size_at_failure);
+  CheckEmbedding(tree, spec);
+}
+
 TEST(InsertElementTest, RandomisedInsertsPreserveEmbedding) {
   Random rng(77);
   DataTree tree;
@@ -155,7 +192,8 @@ TEST(InsertElementTest, RandomisedInsertsPreserveEmbedding) {
     NodeId parent = static_cast<NodeId>(rng.Uniform(tree.size()));
     auto inserted = InsertElement(&tree, parent, "n", spec);
     if (!inserted.ok()) {
-      EXPECT_EQ(inserted.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_TRUE(inserted.status().IsSlackExhausted())
+          << inserted.status().ToString();
       continue;  // that subtree is full; try elsewhere next round
     }
   }

@@ -26,6 +26,7 @@
 // bad query), 2 usage error.
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,7 @@
 #include "serve/client.h"
 #include "storage/catalog.h"
 #include "storage/io_backend.h"
+#include "storage/segment_store.h"
 #include "xml/parser.h"
 
 using namespace pbitree;
@@ -60,6 +62,8 @@ struct GlobalOptions {
   std::string alg = "auto";      // server mode: algorithm to request
   size_t threads = 1;
   int readahead = -1;  // scan readahead pages; -1 = pool default
+  int segments = -1;   // encode: code-space sharding level l (2^l segment
+                       // files); -1/0 = unsegmented single-file layout
   bool metrics = false;
   bool help = false;
 };
@@ -92,6 +96,62 @@ StatusOr<DiskManager*> OpenDb(const GlobalOptions& g,
       /*restore_frontier=*/IsPersistentBackend(g.backend));
 }
 
+/// Tags of `tree` ordered most frequent first (the catalog holds 42
+/// entries, so the frequent tags win the slots).
+std::vector<std::pair<size_t, TagId>> TagsByFrequency(const DataTree& tree) {
+  std::vector<std::pair<size_t, TagId>> tags;
+  for (TagId t = 0; t < tree.num_tags(); ++t) {
+    tags.emplace_back(tree.NodesWithTag(t).size(), t);
+  }
+  std::sort(tags.rbegin(), tags.rend());
+  return tags;
+}
+
+/// `encode --segments=l`: route every tag set through a SegmentStore,
+/// which shards it over 2^l segment files by code space (ancestor
+/// replication at the cut keeps per-segment joins exact). Each set is
+/// extracted into a scratch in-memory database first so the routing
+/// pass reads cheap memory pages, not half-written segment files.
+int CmdEncodeSegmented(const GlobalOptions& g, const std::string& db_path,
+                       const DataTree& tree, const PBiTreeSpec& spec) {
+  SegmentStore::Options sopts;
+  sopts.backend = g.backend;
+  sopts.path = db_path;
+  sopts.pool_pages = kPoolPages;
+  sopts.create_level = g.segments;
+  auto store = SegmentStore::Open(sopts);
+  if (!store.ok()) return Fail(store.status());
+
+  std::unique_ptr<DiskManager> scratch(DiskManager::OpenInMemory());
+  BufferManager scratch_bm(scratch.get(), kPoolPages);
+
+  size_t stored = 0;
+  std::vector<std::pair<size_t, TagId>> tags = TagsByFrequency(tree);
+  for (const auto& [count, tag] : tags) {
+    if ((*store)->main_catalog()->size() >= Catalog::kMaxEntries) {
+      std::printf("catalog full; skipping %zu less frequent tags\n",
+                  tags.size() - stored);
+      break;
+    }
+    auto set = ExtractTagSet(&scratch_bm, tree, spec, tag);
+    if (!set.ok()) return Fail(set.status());
+    Status st = (*store)->StoreSet(tree.tag_name(tag), *set, &scratch_bm);
+    if (Status drop = set->file.Drop(&scratch_bm); !drop.ok()) {
+      return Fail(drop);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "skipping '%s': %s\n", tree.tag_name(tag).c_str(),
+                   st.ToString().c_str());
+      continue;
+    }
+    ++stored;
+  }
+  if (Status st = (*store)->SaveCatalogs(); !st.ok()) return Fail(st);
+  std::printf("stored %zu element sets in %s (%zu segment files)\n", stored,
+              db_path.c_str(), (*store)->num_segments());
+  return 0;
+}
+
 int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
   const std::string& xml_path = args[0];
   const std::string& db_path = args[1];
@@ -104,6 +164,8 @@ int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
   std::printf("parsed %zu elements, %zu tags, PBiTree height %d\n",
               tree.size(), tree.num_tags(), spec.height);
 
+  if (g.segments > 0) return CmdEncodeSegmented(g, db_path, tree, spec);
+
   auto opened = OpenDb(g, db_path);
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<DiskManager> disk(*opened);
@@ -113,11 +175,7 @@ int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
 
   // Store one element set per tag, most frequent first (the catalog
   // holds 42 entries).
-  std::vector<std::pair<size_t, TagId>> tags;
-  for (TagId t = 0; t < tree.num_tags(); ++t) {
-    tags.emplace_back(tree.NodesWithTag(t).size(), t);
-  }
-  std::sort(tags.rbegin(), tags.rend());
+  std::vector<std::pair<size_t, TagId>> tags = TagsByFrequency(tree);
   size_t stored = 0;
   for (const auto& [count, tag] : tags) {
     if (catalog->size() >= Catalog::kMaxEntries) {
@@ -160,15 +218,32 @@ int CmdList(const GlobalOptions& g, const std::vector<std::string>& args) {
     return 0;
   }
   if (args.empty()) return Usage("list needs <db> (or --server host:port)");
-  auto opened = OpenDb(g, args[0]);
-  if (!opened.ok()) return Fail(opened.status());
-  std::unique_ptr<DiskManager> disk(*opened);
-  BufferManager bm(disk.get(), kPoolPages);
-  auto catalog = Catalog::Load(&bm);
-  if (!catalog.ok()) return Fail(catalog.status());
+  // A SegmentStore opens any database (level 0 = the plain single-file
+  // layout), so one path serves both; master entries list from their
+  // aggregate metadata without touching the segment files.
+  SegmentStore::Options sopts;
+  sopts.backend = g.backend;
+  sopts.path = args[0];
+  sopts.pool_pages = kPoolPages;
+  auto store = SegmentStore::Open(sopts);
+  if (!store.ok()) return Fail(store.status());
+  Catalog* catalog = (*store)->main_catalog();
+  if ((*store)->level() > 0) {
+    std::printf("segmented database: level %d (%zu segment files)\n",
+                (*store)->level(), (*store)->num_segments());
+  }
   std::printf("%-32s %12s %10s %8s\n", "name", "elements", "pages", "heights");
   for (const std::string& name : catalog->Names()) {
-    auto set = catalog->Get(&bm, name);
+    if (catalog->IsSegmented(name)) {
+      auto info = catalog->GetMaster(name);
+      if (!info.ok()) return Fail(info.status());
+      std::printf("%-32s %12llu %10llu %8d\n", name.c_str(),
+                  static_cast<unsigned long long>(info->num_records),
+                  static_cast<unsigned long long>(info->num_pages),
+                  std::popcount(info->height_mask));
+      continue;
+    }
+    auto set = catalog->Get((*store)->main_bm(), name);
     if (!set.ok()) return Fail(set.status());
     std::printf("%-32s %12llu %10llu %8d\n", name.c_str(),
                 static_cast<unsigned long long>(set->num_records()),
@@ -224,17 +299,28 @@ int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
   auto parsed = ParseTwigQuery(query_text);
   if (!parsed.ok()) return Fail(parsed.status());
 
-  auto opened = OpenDb(g, db_path);
-  if (!opened.ok()) return Fail(opened.status());
-  std::unique_ptr<DiskManager> disk(*opened);
-  BufferManager bm(disk.get(), kPoolPages);
-  auto catalog = Catalog::Load(&bm);
-  if (!catalog.ok()) return Fail(catalog.status());
+  SegmentStore::Options sopts;
+  sopts.backend = g.backend;
+  sopts.path = db_path;
+  sopts.pool_pages = kPoolPages;
+  auto opened_store = SegmentStore::Open(sopts);
+  if (!opened_store.ok()) return Fail(opened_store.status());
+  SegmentStore* store = opened_store->get();
+  BufferManager& bm = *store->main_bm();
+  Catalog* catalog = store->main_catalog();
 
   // The PBiTree spec comes from the first step's stored set.
-  auto first = catalog->Get(&bm, parsed->steps.front().tag);
-  if (!first.ok()) return Fail(first.status());
-  PBiTreeSpec spec = first->spec;
+  PBiTreeSpec spec;
+  const std::string& first_tag = parsed->steps.front().tag;
+  if (catalog->IsSegmented(first_tag)) {
+    auto info = catalog->GetMaster(first_tag);
+    if (!info.ok()) return Fail(info.status());
+    spec.height = info->tree_height;
+  } else {
+    auto first = catalog->Get(&bm, first_tag);
+    if (!first.ok()) return Fail(first.status());
+    spec = first->spec;
+  }
 
   RunOptions opts;
   opts.work_pages = kPoolPages / 2;
@@ -242,8 +328,27 @@ int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
   if (g.readahead >= 0) {
     opts.readahead_pages = static_cast<size_t>(g.readahead);
   }
-  ElementSetProvider provider = [&](const std::string& tag) {
-    return catalog->Get(&bm, tag);
+  // The evaluator owns and drops every provider-returned set, so the
+  // provider must never hand out the stored files themselves — a freed
+  // stored page gets reused by query temps and the database is
+  // destroyed on eviction write-back. Segmented sets already
+  // materialise a fresh merged (replica-free) view; plain entries get
+  // an explicit copy.
+  ElementSetProvider provider =
+      [&](const std::string& tag) -> StatusOr<ElementSet> {
+    if (catalog->IsSegmented(tag)) return store->LoadMerged(tag, &bm);
+    PBITREE_ASSIGN_OR_RETURN(ElementSet stored, catalog->Get(&bm, tag));
+    PBITREE_ASSIGN_OR_RETURN(ElementSetBuilder builder,
+                             ElementSetBuilder::Create(&bm, stored.spec));
+    HeapFile::Scanner scan(&bm, stored.file);
+    ElementRecord rec;
+    while (scan.NextElement(&rec)) {
+      PBITREE_RETURN_IF_ERROR(builder.Add(rec));
+    }
+    PBITREE_RETURN_IF_ERROR(scan.status());
+    ElementSet copy = builder.Build();
+    copy.sorted_by_start = stored.sorted_by_start;
+    return copy;
   };
 
   // With --metrics, install a query-level registry scope: every join
@@ -292,8 +397,11 @@ constexpr const char* kCommonOptions =
 
 const Subcommand kSubcommands[] = {
     {"encode", "<doc.xml> <db>",
-     "parse + binarize one document, store an element set per tag", "", 2,
-     CmdEncode},
+     "parse + binarize one document, store an element set per tag",
+     "  --segments L        shard each set over 2^L segment files by code\n"
+     "                      space (0 — the default — keeps the single-file\n"
+     "                      layout; list/query open either transparently)\n",
+     2, CmdEncode},
     {"list", "<db>", "show the element sets stored in the catalog",
      "  --server HOST:PORT  list a running pbitree_serverd's catalog\n", 0,
      CmdList},
@@ -356,6 +464,14 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--readahead=", 12) == 0) {
       g.readahead = static_cast<int>(std::atol(arg + 12));
+      continue;
+    }
+    if (std::strcmp(arg, "--segments") == 0 && i + 1 < argc) {
+      g.segments = static_cast<int>(std::atol(argv[++i]));
+      continue;
+    }
+    if (std::strncmp(arg, "--segments=", 11) == 0) {
+      g.segments = static_cast<int>(std::atol(arg + 11));
       continue;
     }
     if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {

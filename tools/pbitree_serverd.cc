@@ -37,10 +37,7 @@
 
 #include "common/env.h"
 #include "serve/server.h"
-#include "storage/buffer_manager.h"
-#include "storage/catalog.h"
-#include "storage/disk_manager.h"
-#include "storage/io_backend.h"
+#include "storage/segment_store.h"
 
 using namespace pbitree;
 
@@ -93,22 +90,23 @@ int main(int argc, char** argv) {
       EnvInt64Checked("PBITREE_SERVE_POOL_PAGES", 1024, 8, 1 << 24));
   serve::ServeConfig cfg = serve::ServeConfig::FromEnv();
 
-  auto opened = [&]() -> StatusOr<DiskManager*> {
-    auto io = MakeIoBackend(backend, db_path);
-    PBITREE_RETURN_IF_ERROR(io.status());
-    return DiskManager::OpenWithBackend(std::move(*io),
-                                        /*restore_frontier=*/backend == "file" ||
-                                            backend == "async-file");
-  }();
-  if (!opened.ok()) return Fail(opened.status());
-  std::unique_ptr<DiskManager> disk(*opened);
-  BufferManager bm(disk.get(), pool_pages);
+  // A SegmentStore opens any database: level 0 (every pre-sharding
+  // file) is the plain single-file layout, level l > 0 additionally
+  // opens the 2^l segment files next to it.
+  SegmentStore::Options sopts;
+  sopts.backend = backend;
+  sopts.path = db_path;
+  sopts.pool_pages = pool_pages;
+  auto store = SegmentStore::Open(sopts);
+  if (!store.ok()) return Fail(store.status());
+  const size_t num_sets = (*store)->main_catalog()->size();
+  if ((*store)->level() > 0) {
+    std::printf("pbitree_serverd: segmented database, level %d (%zu segment "
+                "files)\n",
+                (*store)->level(), (*store)->num_segments());
+  }
 
-  auto catalog = Catalog::Load(&bm);
-  if (!catalog.ok()) return Fail(catalog.status());
-  const size_t num_sets = catalog->size();
-
-  serve::Server server(&bm, std::move(*catalog), cfg);
+  serve::Server server(store->get(), cfg);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
 
   // CI and scripts parse this line (and wait for it) — keep it stable.
