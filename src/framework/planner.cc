@@ -1,42 +1,16 @@
 #include "framework/planner.h"
 
+#include "join/algorithm_registry.h"
+
 namespace pbitree {
 
-const char* AlgorithmName(Algorithm alg) {
-  switch (alg) {
-    case Algorithm::kShcj:
-      return "SHCJ";
-    case Algorithm::kMhcj:
-      return "MHCJ";
-    case Algorithm::kMhcjRollup:
-      return "MHCJ+Rollup";
-    case Algorithm::kVpj:
-      return "VPJ";
-    case Algorithm::kInljn:
-      return "INLJN";
-    case Algorithm::kStackTree:
-      return "STACKTREE";
-    case Algorithm::kMpmgjn:
-      return "MPMGJN";
-    case Algorithm::kAdb:
-      return "ADB+";
-  }
-  return "?";
-}
+const char* AlgorithmName(Algorithm alg) { return GetAlgorithmInfo(alg).name; }
 
 bool ParseAlgorithm(std::string_view name, Algorithm* out) {
-  static constexpr Algorithm kAll[] = {
-      Algorithm::kShcj,   Algorithm::kMhcj,      Algorithm::kMhcjRollup,
-      Algorithm::kVpj,    Algorithm::kInljn,     Algorithm::kStackTree,
-      Algorithm::kMpmgjn, Algorithm::kAdb,
-  };
-  for (Algorithm alg : kAll) {
-    if (name == AlgorithmName(alg)) {
-      *out = alg;
-      return true;
-    }
-  }
-  return false;
+  const AlgorithmInfo* info = FindAlgorithmByName(name);
+  if (info == nullptr) return false;
+  *out = info->alg;
+  return true;
 }
 
 Algorithm ChooseAlgorithm(const InputProperties& a, const InputProperties& d,

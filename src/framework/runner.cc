@@ -5,180 +5,10 @@
 #include "common/timer.h"
 #include "exec/exec_context.h"
 #include "exec/partition_exec.h"
-#include "join/adb.h"
-#include "join/inljn.h"
-#include "join/mhcj.h"
-#include "join/mpmgjn.h"
-#include "join/shcj.h"
-#include "join/stack_tree.h"
-#include "sort/external_sort.h"
+#include "join/algorithm_registry.h"
+#include "pbitree/simd.h"
 
 namespace pbitree {
-
-namespace {
-
-/// Sorted-by-Start copy of a set; the temp file must be dropped by the
-/// caller. Sort time is charged to stats->sort_seconds.
-StatusOr<ElementSet> SortedCopy(BufferManager* bm, const ElementSet& in,
-                              size_t work_pages, ExecContext* exec,
-                              JoinStats* stats) {
-  Timer t;
-  PBITREE_ASSIGN_OR_RETURN(
-      HeapFile sorted,
-      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder, exec));
-  stats->sort_seconds += t.ElapsedSeconds();
-  ElementSet out = in;
-  out.file = sorted;
-  out.sorted_by_start = true;
-  return out;
-}
-
-/// Builds a B+-tree over `in` keyed by `kind`, sorting a temporary copy
-/// first (bulk load needs key order). Charged to index_build_seconds.
-StatusOr<BPTree> BuildIndexOnTheFly(BufferManager* bm, const ElementSet& in,
-                                  KeyKind kind, size_t work_pages,
-                                  ExecContext* exec, JoinStats* stats) {
-  Timer t;
-  SortOrder order =
-      kind == KeyKind::kCode ? SortOrder::kCodeOrder : SortOrder::kStartOrder;
-  PBITREE_ASSIGN_OR_RETURN(HeapFile sorted,
-                           ExternalSort(bm, in.file, work_pages, order, exec));
-  auto built = BPTree::BulkLoad(bm, sorted, kind);
-  Status drop = sorted.Drop(bm);
-  stats->index_build_seconds += t.ElapsedSeconds();
-  if (!built.ok()) return built.status();
-  PBITREE_RETURN_IF_ERROR(drop);
-  return built;
-}
-
-StatusOr<IntervalIndex> BuildIntervalIndexOnTheFly(BufferManager* bm,
-                                                 const ElementSet& in,
-                                                 size_t work_pages,
-                                                 ExecContext* exec,
-                                                 JoinStats* stats) {
-  Timer t;
-  PBITREE_ASSIGN_OR_RETURN(
-      HeapFile sorted,
-      ExternalSort(bm, in.file, work_pages, SortOrder::kStartOrder, exec));
-  auto built = IntervalIndex::BulkLoad(bm, sorted);
-  Status drop = sorted.Drop(bm);
-  stats->index_build_seconds += t.ElapsedSeconds();
-  if (!built.ok()) return built.status();
-  PBITREE_RETURN_IF_ERROR(drop);
-  return built;
-}
-
-/// Dispatches to the algorithm, creating any missing prerequisite.
-Status Dispatch(Algorithm alg, JoinContext* ctx, const ElementSet& a,
-                const ElementSet& d, ResultSink* sink,
-                const RunOptions& options) {
-  BufferManager* bm = ctx->bm;
-  switch (alg) {
-    case Algorithm::kShcj:
-      return Shcj(ctx, a, d, sink);
-    case Algorithm::kMhcj:
-      return Mhcj(ctx, a, d, sink);
-    case Algorithm::kMhcjRollup:
-      return MhcjRollup(ctx, a, d, sink, options.rollup_policy);
-    case Algorithm::kVpj:
-      return Vpj(ctx, a, d, sink, options.vpj);
-
-    case Algorithm::kStackTree:
-    case Algorithm::kMpmgjn: {
-      ElementSet sa = a, sd = d;
-      std::optional<ElementSet> tmp_a, tmp_d;
-      if (!sa.sorted_by_start) {
-        PBITREE_ASSIGN_OR_RETURN(
-            sa, SortedCopy(bm, a, ctx->work_pages, ctx->exec, &ctx->stats));
-        tmp_a = sa;
-      }
-      if (!sd.sorted_by_start) {
-        PBITREE_ASSIGN_OR_RETURN(
-            sd, SortedCopy(bm, d, ctx->work_pages, ctx->exec, &ctx->stats));
-        tmp_d = sd;
-      }
-      Status st = alg == Algorithm::kStackTree
-                      ? StackTreeJoin(ctx, sa, sd, sink)
-                      : Mpmgjn(ctx, sa, sd, sink);
-      if (tmp_a.has_value()) {
-        Status s = tmp_a->file.Drop(bm);
-        if (st.ok()) st = s;
-      }
-      if (tmp_d.has_value()) {
-        Status s = tmp_d->file.Drop(bm);
-        if (st.ok()) st = s;
-      }
-      return st;
-    }
-
-    case Algorithm::kInljn: {
-      InljnIndexes idx;
-      idx.d_code_index = options.paths.d_code_index;
-      idx.a_interval_index = options.paths.a_interval_index;
-      if (idx.d_code_index != nullptr || idx.a_interval_index != nullptr) {
-        return Inljn(ctx, a, d, idx, sink);
-      }
-      // Naive mode: build the index on the side the paper's heuristic
-      // makes the inner one (the larger set's index is probed, so the
-      // smaller set stays the outer scan).
-      if (a.num_records() <= d.num_records()) {
-        PBITREE_ASSIGN_OR_RETURN(
-            BPTree d_index,
-            BuildIndexOnTheFly(bm, d, KeyKind::kCode, ctx->work_pages,
-                               ctx->exec, &ctx->stats));
-        idx.d_code_index = &d_index;
-        Status st = Inljn(ctx, a, d, idx, sink);
-        Status drop = d_index.Drop(bm);
-        PBITREE_RETURN_IF_ERROR(st);
-        return drop;
-      }
-      PBITREE_ASSIGN_OR_RETURN(
-          IntervalIndex a_index,
-          BuildIntervalIndexOnTheFly(bm, a, ctx->work_pages, ctx->exec,
-                                     &ctx->stats));
-      idx.a_interval_index = &a_index;
-      Status st = Inljn(ctx, a, d, idx, sink);
-      Status drop = a_index.Drop(bm);
-      PBITREE_RETURN_IF_ERROR(st);
-      return drop;
-    }
-
-    case Algorithm::kAdb: {
-      const BPTree* a_idx = options.paths.a_start_index;
-      const BPTree* d_idx = options.paths.d_start_index;
-      std::optional<BPTree> tmp_a, tmp_d;
-      if (a_idx == nullptr) {
-        PBITREE_ASSIGN_OR_RETURN(
-            BPTree built,
-            BuildIndexOnTheFly(bm, a, KeyKind::kStart, ctx->work_pages,
-                               ctx->exec, &ctx->stats));
-        tmp_a = built;
-        a_idx = &tmp_a.value();
-      }
-      if (d_idx == nullptr) {
-        PBITREE_ASSIGN_OR_RETURN(
-            BPTree built,
-            BuildIndexOnTheFly(bm, d, KeyKind::kStart, ctx->work_pages,
-                               ctx->exec, &ctx->stats));
-        tmp_d = built;
-        d_idx = &tmp_d.value();
-      }
-      Status st = AdbJoin(ctx, a, d, *a_idx, *d_idx, sink);
-      if (tmp_a.has_value()) {
-        Status s = tmp_a->Drop(bm);
-        if (st.ok()) st = s;
-      }
-      if (tmp_d.has_value()) {
-        Status s = tmp_d->Drop(bm);
-        if (st.ok()) st = s;
-      }
-      return st;
-    }
-  }
-  return Status::InvalidArgument("unknown algorithm");
-}
-
-}  // namespace
 
 StatusOr<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
                           const ElementSet& a, const ElementSet& d,
@@ -244,7 +74,16 @@ StatusOr<RunResult> RunJoin(Algorithm alg, BufferManager* bm,
     exec = &local_exec.value();
   }
   JoinContext ctx(bm, options.work_pages, exec);
-  PBITREE_RETURN_IF_ERROR(Dispatch(alg, &ctx, a, d, sink, options));
+  {
+    // The SIMD override is process-global (pool workers executing this
+    // run's partition tasks must see it), so concurrent runs with
+    // conflicting overrides race benignly: the kernels are exact either
+    // way, only the instruction selection differs.
+    std::optional<simd::ScopedEnable> simd_scope;
+    if (options.simd.has_value()) simd_scope.emplace(*options.simd);
+    PBITREE_RETURN_IF_ERROR(
+        GetAlgorithmInfo(alg).run(&ctx, a, d, sink, options));
+  }
   // The run isn't over until its async I/O settles: drain inside the
   // timed region so readahead pays for any writes it still owes, and so
   // the metrics snapshot below sees every job's counters.

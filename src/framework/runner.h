@@ -91,6 +91,15 @@ struct RunOptions {
   /// pool's setting (PBITREE_READAHEAD_PAGES).
   std::optional<size_t> readahead_pages;
 
+  /// Overrides the SIMD kernel toggle for the duration of this run
+  /// (restored afterwards): false forces the scalar fallbacks, true
+  /// enables the AVX2 paths where the host supports them. Unset
+  /// inherits the process setting (PBITREE_SIMD, default on). Join
+  /// output is byte-identical either way — this knob exists for A/B
+  /// measurement and differential testing. The toggle is process-global
+  /// so the run's pool workers see it.
+  std::optional<bool> simd;
+
   /// Pre-existing access paths (see AccessPaths); missing ones are
   /// built on the fly and their build time recorded in the stats.
   AccessPaths paths;

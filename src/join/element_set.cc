@@ -4,6 +4,8 @@
 #include <bit>
 #include <string>
 
+#include "storage/factory.h"
+
 namespace pbitree {
 
 int ElementSet::NumHeights() const { return std::popcount(height_mask); }
@@ -22,13 +24,14 @@ std::vector<int> ElementSet::Heights() const {
   return hs;
 }
 
-StatusOr<ElementSetBuilder> ElementSetBuilder::Create(BufferManager* bm,
-                                                    PBiTreeSpec spec) {
+StatusOr<ElementSetBuilder> ElementSetBuilder::Create(
+    BufferManager* bm, PBiTreeSpec spec, std::optional<PageCodecKind> codec) {
   PBITREE_RETURN_IF_ERROR(ValidateSpec(spec));
   ElementSetBuilder b;
   b.bm_ = bm;
   b.set_.spec = spec;
-  PBITREE_ASSIGN_OR_RETURN(b.set_.file, HeapFile::Create(bm));
+  PBITREE_ASSIGN_OR_RETURN(
+      b.set_.file, HeapFile::Create(bm, codec.value_or(AmbientPageCodec())));
   return b;
 }
 
@@ -47,9 +50,10 @@ Status ElementSetBuilder::Add(const ElementRecord& rec) {
 ElementSet ElementSetBuilder::Build() { return set_; }
 
 StatusOr<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
-                                 PBiTreeSpec spec, TagId tag, uint32_t doc) {
+                                 PBiTreeSpec spec, TagId tag, uint32_t doc,
+                                 std::optional<PageCodecKind> codec) {
   PBITREE_ASSIGN_OR_RETURN(ElementSetBuilder builder,
-                           ElementSetBuilder::Create(bm, spec));
+                           ElementSetBuilder::Create(bm, spec, codec));
   for (size_t i = 0; i < tree.size(); ++i) {
     const auto& node = tree.node(static_cast<NodeId>(i));
     if (node.tag != tag) continue;
@@ -65,13 +69,14 @@ StatusOr<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
 StatusOr<ElementSet> ExtractTagSetByName(BufferManager* bm, const DataTree& tree,
                                        PBiTreeSpec spec,
                                        std::string_view tag_name,
-                                       uint32_t doc) {
+                                       uint32_t doc,
+                                       std::optional<PageCodecKind> codec) {
   TagId tag;
   if (!tree.FindTag(tag_name, &tag)) {
     return Status::NotFound("tag '" + std::string(tag_name) +
                             "' does not occur in the document");
   }
-  return ExtractTagSet(bm, tree, spec, tag, doc);
+  return ExtractTagSet(bm, tree, spec, tag, doc, codec);
 }
 
 }  // namespace pbitree

@@ -2,6 +2,7 @@
 #define PBITREE_JOIN_ELEMENT_SET_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -50,8 +51,13 @@ struct ElementSet {
 /// height mask incrementally).
 class ElementSetBuilder {
  public:
-  /// Creates an empty set on `bm` belonging to PBiTree `spec`.
-  static StatusOr<ElementSetBuilder> Create(BufferManager* bm, PBiTreeSpec spec);
+  /// Creates an empty set on `bm` belonging to PBiTree `spec`. `codec`
+  /// picks the page encoding of the backing file; std::nullopt takes
+  /// the ambient default (PBITREE_PAGE_CODEC, normally raw — see
+  /// storage/factory.h).
+  static StatusOr<ElementSetBuilder> Create(
+      BufferManager* bm, PBiTreeSpec spec,
+      std::optional<PageCodecKind> codec = std::nullopt);
 
   Status Add(const ElementRecord& rec);
   Status AddCode(Code code, uint32_t tag = 0, uint32_t doc = 0) {
@@ -70,14 +76,17 @@ class ElementSetBuilder {
 
 /// Extracts the elements of `tree` with tag `tag` (in document order)
 /// into an ElementSet. The tree must have been binarized with `spec`.
+/// `codec` as in ElementSetBuilder::Create.
 StatusOr<ElementSet> ExtractTagSet(BufferManager* bm, const DataTree& tree,
-                                 PBiTreeSpec spec, TagId tag, uint32_t doc = 0);
+                                 PBiTreeSpec spec, TagId tag, uint32_t doc = 0,
+                                 std::optional<PageCodecKind> codec = std::nullopt);
 
 /// Convenience: extract by tag name; NotFound if the tag never occurs.
 StatusOr<ElementSet> ExtractTagSetByName(BufferManager* bm, const DataTree& tree,
                                        PBiTreeSpec spec,
                                        std::string_view tag_name,
-                                       uint32_t doc = 0);
+                                       uint32_t doc = 0,
+                                       std::optional<PageCodecKind> codec = std::nullopt);
 
 }  // namespace pbitree
 

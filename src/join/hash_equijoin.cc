@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "exec/partition_exec.h"
 #include "obs/metrics.h"
+#include "pbitree/simd.h"
 
 namespace pbitree {
 
@@ -53,14 +55,22 @@ Status InMemoryJoin(JoinContext* ctx, const HeapFile& a_file,
 
   std::unordered_multimap<uint64_t, Code> table;
   table.reserve(build.num_records());
+  // Rolled keys for the whole zero-copy batch, computed by the batch
+  // kernel; the proximity height filter stays scalar (filtered slots'
+  // keys are computed but never read).
+  std::vector<uint64_t> keys;
   {
     obs::ObsSpan build_span(obs::Phase::kBuild);
     HeapFile::Scanner scan(ctx->bm, build);
     for (auto batch = scan.NextElementBatch(); !batch.empty();
          batch = scan.NextElementBatch()) {
-      for (const ElementRecord& rec : batch) {
+      keys.resize(batch.size());
+      simd::RolledKeys(reinterpret_cast<const uint64_t*>(batch.data()), 2,
+                       batch.size(), h, keys.data());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const ElementRecord& rec = batch[i];
         if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-        table.emplace(RolledKey(rec.code, h), rec.code);
+        table.emplace(keys[i], rec.code);
       }
     }
     PBITREE_RETURN_IF_ERROR(scan.status());
@@ -71,9 +81,13 @@ Status InMemoryJoin(JoinContext* ctx, const HeapFile& a_file,
   HeapFile::Scanner scan(ctx->bm, probe);
   for (auto batch = scan.NextElementBatch(); !batch.empty();
        batch = scan.NextElementBatch()) {
-    for (const ElementRecord& rec : batch) {
+    keys.resize(batch.size());
+    simd::RolledKeys(reinterpret_cast<const uint64_t*>(batch.data()), 2,
+                     batch.size(), h, keys.data());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const ElementRecord& rec = batch[i];
       if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-      auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
+      auto [lo, hi] = table.equal_range(keys[i]);
       for (auto it = lo; it != hi; ++it) {
         Code a = build_a ? it->second : rec.code;
         Code d = build_a ? rec.code : it->second;
@@ -117,11 +131,16 @@ Status BlockNestedLoopJoin(JoinContext* ctx, const HeapFile& a_file,
     }
     if (table.empty()) break;
     HeapFile::Scanner probe_scan(ctx->bm, probe);
+    std::vector<uint64_t> keys;
     for (auto batch = probe_scan.NextElementBatch(); !batch.empty();
          batch = probe_scan.NextElementBatch()) {
-      for (const ElementRecord& rec : batch) {
+      keys.resize(batch.size());
+      simd::RolledKeys(reinterpret_cast<const uint64_t*>(batch.data()), 2,
+                       batch.size(), h, keys.data());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const ElementRecord& rec = batch[i];
         if (mode == EquiMode::kProximity && HeightOf(rec.code) > h) continue;
-        auto [lo, hi] = table.equal_range(RolledKey(rec.code, h));
+        auto [lo, hi] = table.equal_range(keys[i]);
         for (auto it = lo; it != hi; ++it) {
           Code a = build_a ? it->second : rec.code;
           Code d = build_a ? rec.code : it->second;
@@ -158,11 +177,16 @@ Status PartitionFile(JoinContext* ctx, const HeapFile& input, int h, size_t k,
   parts->resize(k);
   std::vector<std::unique_ptr<HeapFile::Appender>> apps(k);
   HeapFile::Scanner scan(ctx->bm, input);
+  std::vector<uint64_t> keys;
   Status st;
   for (auto batch = scan.NextElementBatch(); !batch.empty() && st.ok();
        batch = scan.NextElementBatch()) {
-    for (const ElementRecord& rec : batch) {
-      size_t p = HashKey(RolledKey(rec.code, h), salt) % k;
+    keys.resize(batch.size());
+    simd::RolledKeys(reinterpret_cast<const uint64_t*>(batch.data()), 2,
+                     batch.size(), h, keys.data());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const ElementRecord& rec = batch[i];
+      size_t p = HashKey(keys[i], salt) % k;
       if (apps[p] == nullptr) {
         auto created = HeapFile::Create(ctx->bm);
         if (!created.ok()) {

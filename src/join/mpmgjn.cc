@@ -1,10 +1,12 @@
 #include "join/mpmgjn.h"
 
-#include <deque>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "join/validate.h"
 #include "obs/metrics.h"
+#include "pbitree/simd.h"
 #include "sort/external_sort.h"
 
 namespace pbitree {
@@ -17,6 +19,13 @@ namespace {
 /// (mirroring how the original operates on blocks); records evicted
 /// past the window are re-fetched by restarting a scanner, charging the
 /// re-scan I/O honestly.
+///
+/// The window is a flat vector (front eviction is a lazily-compacted
+/// start offset), so callers get contiguous ElementRecord spans the
+/// batch kernels can consume directly. Page-fetch, eviction and restart
+/// decisions are identical to the record-at-a-time predecessor: a page
+/// is pulled exactly when the requested position crosses the frontier,
+/// and the window always holds the last kMaxWindow records read.
 class RewindableScan {
  public:
   RewindableScan(BufferManager* bm, const HeapFile& file)
@@ -24,45 +33,43 @@ class RewindableScan {
         file_(&file),
         scan_(std::make_unique<HeapFile::Scanner>(bm, file)) {}
 
-  /// Returns the record at `pos` (absolute index), reading forward as
-  /// needed. False when pos is past end of file.
-  bool At(uint64_t pos, ElementRecord* out, Status* st) {
+  /// Returns the buffered records from absolute index `pos` to the read
+  /// frontier, pulling one page when `pos` is exactly at the frontier.
+  /// Empty span at end of file (st OK) or on error (st not OK). The
+  /// span is invalidated by the next SpanAt call.
+  std::span<const ElementRecord> SpanAt(uint64_t pos, Status* st) {
     *st = Status::OK();
     if (pos < window_base_) {
       // Window lost: restart the scan from the beginning (real I/O).
       scan_ = std::make_unique<HeapFile::Scanner>(bm_, *file_);
-      batch_ = {};
-      batch_index_ = 0;
+      window_.clear();
+      start_off_ = 0;
       window_base_ = 0;
       next_ = 0;
-      window_.clear();
     }
-    while (next_ <= pos) {
-      // Pull from the current zero-copy batch, refilling a page at a
-      // time; the page fetch happens at the same record index the
-      // one-at-a-time scan fetched it.
-      if (batch_index_ >= batch_.size()) {
-        batch_ = scan_->NextElementBatch();
-        batch_index_ = 0;
-        if (batch_.empty()) {
-          *st = scan_->status();
-          return false;
-        }
+    if (pos == next_) {
+      std::span<const ElementRecord> batch = scan_->NextElementBatch();
+      if (batch.empty()) {
+        *st = scan_->status();
+        return {};
       }
-      window_.push_back(batch_[batch_index_++]);
-      ++next_;
-      // Bound the in-memory window.
-      while (window_.size() > kMaxWindow) {
-        window_.pop_front();
+      window_.insert(window_.end(), batch.begin(), batch.end());
+      next_ += batch.size();
+      // Bound the in-memory window to the last kMaxWindow records.
+      while (window_.size() - start_off_ > kMaxWindow) {
+        ++start_off_;
         ++window_base_;
       }
+      if (start_off_ >= kMaxWindow) {
+        // Compact so the vector never holds more than ~2x the window.
+        window_.erase(window_.begin(),
+                      window_.begin() + static_cast<ptrdiff_t>(start_off_));
+        start_off_ = 0;
+      }
     }
-    if (pos < window_base_) {
-      // Evicted while reading forward; restart recursively (rare).
-      return At(pos, out, st);
-    }
-    *out = window_[pos - window_base_];
-    return true;
+    const size_t off = start_off_ + static_cast<size_t>(pos - window_base_);
+    return std::span<const ElementRecord>(window_.data() + off,
+                                          window_.size() - off);
   }
 
  private:
@@ -71,11 +78,10 @@ class RewindableScan {
   BufferManager* bm_;
   const HeapFile* file_;
   std::unique_ptr<HeapFile::Scanner> scan_;
-  std::span<const ElementRecord> batch_;
-  size_t batch_index_ = 0;
-  std::deque<ElementRecord> window_;
-  uint64_t window_base_ = 0;
-  uint64_t next_ = 0;
+  std::vector<ElementRecord> window_;
+  size_t start_off_ = 0;      // window_[start_off_] is record window_base_
+  uint64_t window_base_ = 0;  // absolute index of the logical front
+  uint64_t next_ = 0;         // read frontier (records pulled so far)
 };
 
 }  // namespace
@@ -92,27 +98,48 @@ Status Mpmgjn(JoinContext* ctx, const ElementSet& a, const ElementSet& d,
   RewindableScan d_scan(ctx->bm, d.file);
   PairBuffer out(sink, &ctx->stats.output_pairs);
 
-  ElementRecord d_rec;
   uint64_t mark = 0;  // index in D where the current merge segment starts
+  std::vector<Code> scratch;  // qualifying descendants per (a, span) step
 
   for (; a_cur.live(); a_cur.Advance()) {
     const Code a_code = a_cur.rec().code;
     const uint64_t a_start = StartOf(a_code);
     const uint64_t a_end = EndOf(a_code);
+    Status pst;
     // Advance the mark past descendants that no later ancestor can
     // contain (their Start precedes this and every following a).
-    ElementRecord probe;
-    Status pst;
-    while (d_scan.At(mark, &probe, &pst) && StartOf(probe.code) < a_start) {
-      ++mark;
+    for (;;) {
+      std::span<const ElementRecord> span = d_scan.SpanAt(mark, &pst);
+      if (span.empty()) break;  // end of D (or error)
+      const size_t adv = simd::LowerBoundStart(
+          reinterpret_cast<const uint64_t*>(span.data()), 2, span.size(),
+          a_start);
+      mark += adv;
+      if (adv < span.size()) break;  // first Start >= a_start is in window
     }
     PBITREE_RETURN_IF_ERROR(pst);
-    // Scan the segment of D inside a's region (rescanned per ancestor).
-    for (uint64_t pos = mark; d_scan.At(pos, &d_rec, &pst); ++pos) {
-      if (StartOf(d_rec.code) > a_end) break;
-      if (IsAncestor(a_code, d_rec.code)) {
-        PBITREE_RETURN_IF_ERROR(out.Emit(a_code, d_rec.code));
-      }
+    // Scan the segment of D inside a's region (rescanned per ancestor):
+    // each window span contributes its prefix with Start <= a_end,
+    // filtered by the exact Lemma-1 test in input order.
+    for (uint64_t pos = mark;;) {
+      std::span<const ElementRecord> span = d_scan.SpanAt(pos, &pst);
+      if (span.empty()) break;
+      // First index past the segment: Start > a_end. The root of a
+      // full-height tree has a_end == UINT64_MAX; nothing can pass it.
+      const size_t stop =
+          a_end == UINT64_MAX
+              ? span.size()
+              : simd::LowerBoundStart(
+                    reinterpret_cast<const uint64_t*>(span.data()), 2,
+                    span.size(), a_end + 1);
+      scratch.resize(stop);
+      const size_t m = simd::FilterDescendants(
+          a_code, reinterpret_cast<const uint64_t*>(span.data()), 2, stop,
+          scratch.data());
+      PBITREE_RETURN_IF_ERROR(
+          out.EmitDescendants(a_code, std::span<const Code>(scratch.data(), m)));
+      pos += stop;
+      if (stop < span.size()) break;  // segment ends inside this span
     }
     PBITREE_RETURN_IF_ERROR(pst);
   }

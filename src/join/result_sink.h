@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "pbitree/code.h"
+#include "pbitree/simd.h"
 #include "storage/heap_file.h"
 
 namespace pbitree {
@@ -66,6 +67,42 @@ class PairBuffer {
     ++*pair_counter_;
     buf_[size_++] = ResultPair{a, d};
     if (size_ == kCapacity) return Flush();
+    return Status::OK();
+  }
+
+  /// Emits (anc, ds[0]), (anc, ds[1]), ... — the batch form of an Emit
+  /// loop over one ancestor's descendants, packed with the SIMD
+  /// kernels. Fill and flush boundaries are identical to per-pair Emit
+  /// (the buffer fills at the same pair indexes), so downstream batch
+  /// sizes — and any sink spill files — stay byte-identical.
+  Status EmitDescendants(Code anc, std::span<const Code> ds) {
+    while (!ds.empty()) {
+      const size_t room = kCapacity - size_;
+      const size_t m = ds.size() < room ? ds.size() : room;
+      *pair_counter_ += m;
+      simd::PackPairsFixedAncestor(anc, ds.data(), m,
+                                   reinterpret_cast<uint64_t*>(buf_ + size_));
+      size_ += m;
+      ds = ds.subspan(m);
+      if (size_ == kCapacity) PBITREE_RETURN_IF_ERROR(Flush());
+    }
+    return Status::OK();
+  }
+
+  /// Emits (as[0], d), (as[1], d), ... — the batch form of an Emit loop
+  /// over one descendant's open ancestors. Same boundary guarantee as
+  /// EmitDescendants.
+  Status EmitAncestors(std::span<const Code> as, Code d) {
+    while (!as.empty()) {
+      const size_t room = kCapacity - size_;
+      const size_t m = as.size() < room ? as.size() : room;
+      *pair_counter_ += m;
+      simd::PackPairsFixedDescendant(as.data(), m, d,
+                                     reinterpret_cast<uint64_t*>(buf_ + size_));
+      size_ += m;
+      as = as.subspan(m);
+      if (size_ == kCapacity) PBITREE_RETURN_IF_ERROR(Flush());
+    }
     return Status::OK();
   }
 

@@ -1,9 +1,12 @@
 #include "join/stack_tree.h"
 
+#include <bit>
+#include <span>
 #include <vector>
 
 #include "join/validate.h"
 #include "obs/metrics.h"
+#include "pbitree/simd.h"
 #include "sort/external_sort.h"
 
 namespace pbitree {
@@ -27,6 +30,7 @@ Status StackTreeJoin(JoinContext* ctx, const ElementSet& a,
   // stack-tree algorithms.
   obs::ObsSpan merge_span(obs::Phase::kMerge);
   std::vector<Code> stack;
+  std::vector<Code> scratch;  // surviving stack entries per descendant
 
   while (d_cur.live() && (a_cur.live() || !stack.empty())) {
     if (a_cur.live() && ElementLess(a_cur.rec(), d_cur.rec(), SortOrder::kStartOrder)) {
@@ -46,14 +50,15 @@ Status StackTreeJoin(JoinContext* ctx, const ElementSet& a,
       while (!stack.empty() && EndOf(stack.back()) < StartOf(d_code)) {
         stack.pop_back();
       }
-      for (Code anc : stack) {
-        // The Lemma-1 check filters the self pair (the same element in
-        // both sets) at O(1) cost; all other stack entries are genuine
-        // ancestors.
-        if (IsAncestor(anc, d_code)) {
-          PBITREE_RETURN_IF_ERROR(out.Emit(anc, d_code));
-        }
-      }
+      // The Lemma-1 test filters the self pair (the same element in
+      // both sets); all other stack entries are genuine ancestors. The
+      // batch kernel applies the exact predicate in stack order, so the
+      // emitted sequence equals the scalar loop's.
+      scratch.resize(stack.size());
+      const size_t m = simd::FilterAncestors(stack.data(), stack.size(),
+                                             d_code, scratch.data());
+      PBITREE_RETURN_IF_ERROR(
+          out.EmitAncestors(std::span<const Code>(scratch.data(), m), d_code));
       d_cur.Advance();
       if (!d_cur.live()) PBITREE_RETURN_IF_ERROR(d_cur.status());
     }
@@ -87,9 +92,7 @@ Status FlushAncEntry(AncEntry&& e, std::vector<AncEntry>* stack,
                           e.inherit.end());
     return Status::OK();
   }
-  for (Code d : e.self_descendants) {
-    PBITREE_RETURN_IF_ERROR(out->Emit(e.anc, d));
-  }
+  PBITREE_RETURN_IF_ERROR(out->EmitDescendants(e.anc, e.self_descendants));
   // The inherited tail is already a materialised, ordered pair run.
   return out->EmitRun(e.inherit);
 }
@@ -111,11 +114,15 @@ Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
   PairBuffer out(sink, &ctx->stats.output_pairs);
 
   std::vector<AncEntry> stack;
+  // Codes of the open ancestors, parallel to `stack` — a contiguous
+  // array the mask kernel can test in one pass.
+  std::vector<Code> stack_codes;
 
   auto pop_below = [&](uint64_t start) -> Status {
     while (!stack.empty() && EndOf(stack.back().anc) < start) {
       AncEntry e = std::move(stack.back());
       stack.pop_back();
+      stack_codes.pop_back();
       PBITREE_RETURN_IF_ERROR(FlushAncEntry(std::move(e), &stack, &out));
     }
     return Status::OK();
@@ -126,14 +133,24 @@ Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
       const Code a_code = a_cur.rec().code;
       PBITREE_RETURN_IF_ERROR(pop_below(StartOf(a_code)));
       stack.push_back(AncEntry{a_code, {}, {}});
+      stack_codes.push_back(a_code);
       a_cur.Advance();
       if (!a_cur.live()) PBITREE_RETURN_IF_ERROR(a_cur.status());
     } else {
       const Code d_code = d_cur.rec().code;
       PBITREE_RETURN_IF_ERROR(pop_below(StartOf(d_code)));
-      for (AncEntry& e : stack) {
-        if (IsAncestor(e.anc, d_code)) {
-          e.self_descendants.push_back(d_code);
+      // Nested ancestors have strictly decreasing heights, so the stack
+      // depth is bounded by the tree height and one 64-wide mask almost
+      // always covers it; the chunk loop keeps the code correct anyway.
+      for (size_t base = 0; base < stack.size(); base += 64) {
+        const size_t chunk =
+            stack.size() - base < 64 ? stack.size() - base : 64;
+        uint64_t mask =
+            simd::AncestorMask64(stack_codes.data() + base, chunk, d_code);
+        while (mask != 0) {
+          const int i = std::countr_zero(mask);
+          mask &= mask - 1;
+          stack[base + i].self_descendants.push_back(d_code);
         }
       }
       d_cur.Advance();
@@ -144,6 +161,7 @@ Status StackTreeJoinAnc(JoinContext* ctx, const ElementSet& a,
   while (!stack.empty()) {
     AncEntry e = std::move(stack.back());
     stack.pop_back();
+    stack_codes.pop_back();
     PBITREE_RETURN_IF_ERROR(FlushAncEntry(std::move(e), &stack, &out));
   }
   return out.Flush();

@@ -1,0 +1,168 @@
+#include "pbitree/simd.h"
+
+#include <atomic>
+
+#include "common/env.h"
+#include "pbitree/simd_avx2.h"
+
+namespace pbitree::simd {
+
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(PBITREE_SIMD_AVX2_COMPILED) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+/// Function-local static so the env read happens on first use, not at
+/// an unspecified point of static initialisation.
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag(EnvInt64("PBITREE_SIMD", 1) != 0);
+  return flag;
+}
+
+/// True when this call should take the AVX2 body: the kernels only
+/// implement strides 1 (contiguous codes) and 2 (ElementRecord spans);
+/// anything else runs scalar regardless of the toggle.
+inline bool UseAvx2(size_t stride) {
+  return (stride == 1 || stride == 2) && Enabled();
+}
+
+}  // namespace
+
+bool Avx2Available() {
+  static const bool avail = CpuHasAvx2();
+  return avail;
+}
+
+bool Enabled() {
+  return Avx2Available() && EnabledFlag().load(std::memory_order_relaxed);
+}
+
+bool SetEnabled(bool on) {
+  return EnabledFlag().exchange(on, std::memory_order_relaxed);
+}
+
+size_t FilterDescendants(Code anc, const uint64_t* codes, size_t stride,
+                         size_t n, Code* out) {
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+  if (UseAvx2(stride)) {
+    return avx2::FilterDescendants(anc, codes, stride, n, out);
+  }
+#endif
+  const uint64_t lo = StartOf(anc);
+  const uint64_t hi = EndOf(anc);
+  size_t cnt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Code c = codes[i * stride];
+    if (lo <= c && c <= hi && c != anc) out[cnt++] = c;
+  }
+  return cnt;
+}
+
+uint64_t AncestorMask64(const Code* ancs, size_t n, Code d) {
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+  if (UseAvx2(1)) return avx2::AncestorMask64(ancs, n, d);
+#endif
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Code a = ancs[i];
+    if (StartOf(a) <= d && d <= EndOf(a) && a != d) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+size_t FilterAncestors(const Code* ancs, size_t n, Code d, Code* out) {
+  size_t cnt = 0;
+  for (size_t base = 0; base < n; base += 64) {
+    const size_t m = n - base < 64 ? n - base : 64;
+    uint64_t mask = AncestorMask64(ancs + base, m, d);
+    while (mask != 0) {
+      int bit = std::countr_zero(mask);
+      mask &= mask - 1;
+      out[cnt++] = ancs[base + bit];
+    }
+  }
+  return cnt;
+}
+
+namespace {
+
+size_t CountStartsBelow(const uint64_t* codes, size_t stride, size_t n,
+                        uint64_t threshold) {
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+  if (UseAvx2(stride)) {
+    return avx2::CountStartsBelow(codes, stride, n, threshold);
+  }
+#endif
+  size_t cnt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (StartOf(codes[i * stride]) < threshold) ++cnt;
+  }
+  return cnt;
+}
+
+}  // namespace
+
+size_t LowerBoundStart(const uint64_t* codes, size_t stride, size_t n,
+                       uint64_t threshold) {
+  if (n == 0 || StartOf(codes[0]) >= threshold) return 0;
+  // Gallop: double the probe until it lands at-or-past the threshold,
+  // then resolve the final window with a branch-free count (on sorted
+  // input the number of below-threshold entries in the window IS the
+  // offset of the lower bound).
+  size_t bound = 1;
+  while (bound < n && StartOf(codes[bound * stride]) < threshold) {
+    bound <<= 1;
+  }
+  const size_t w = bound / 2 + 1;  // probes <= bound/2 were below
+  const size_t e = bound < n ? bound : n;
+  return w + CountStartsBelow(codes + w * stride, stride, e - w, threshold);
+}
+
+void RolledKeys(const uint64_t* codes, size_t stride, size_t n, int h,
+                uint64_t* out) {
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+  if (UseAvx2(stride)) {
+    avx2::RolledKeys(codes, stride, n, h, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = AncestorAtHeight(codes[i * stride], h);
+  }
+}
+
+void PackPairsFixedAncestor(Code anc, const Code* descs, size_t n,
+                            uint64_t* out_pairs) {
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+  if (UseAvx2(1)) {
+    avx2::PackPairsFixedAncestor(anc, descs, n, out_pairs);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out_pairs[2 * i] = anc;
+    out_pairs[2 * i + 1] = descs[i];
+  }
+}
+
+void PackPairsFixedDescendant(const Code* ancs, size_t n, Code desc,
+                              uint64_t* out_pairs) {
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+  if (UseAvx2(1)) {
+    avx2::PackPairsFixedDescendant(ancs, n, desc, out_pairs);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out_pairs[2 * i] = ancs[i];
+    out_pairs[2 * i + 1] = desc;
+  }
+}
+
+}  // namespace pbitree::simd

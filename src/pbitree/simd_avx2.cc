@@ -1,0 +1,194 @@
+// AVX2 bodies of the simd.h kernels. This is the only translation unit
+// built with -mavx2; everything is guarded so the file compiles to an
+// empty TU when the toolchain never defines PBITREE_SIMD_AVX2_COMPILED
+// (non-x86 hosts, compilers without the flag).
+
+#include "pbitree/simd_avx2.h"
+
+#if defined(PBITREE_SIMD_AVX2_COMPILED) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace pbitree::simd::avx2 {
+
+namespace {
+
+// AVX2 has only signed 64-bit compares; flipping the sign bit maps
+// unsigned order onto signed order.
+inline __m256i SignFlip(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi64x(INT64_MIN));
+}
+
+/// Unsigned per-lane a > b.
+inline __m256i CmpGtU64(__m256i a, __m256i b) {
+  return _mm256_cmpgt_epi64(SignFlip(a), SignFlip(b));
+}
+
+/// Per-lane StartOf: (c & (c - 1)) + 1.
+inline __m256i StartsOf(__m256i c) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  return _mm256_add_epi64(_mm256_and_si256(c, _mm256_sub_epi64(c, one)), one);
+}
+
+/// Per-lane EndOf: c | (c - 1).
+inline __m256i EndsOf(__m256i c) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  return _mm256_or_si256(c, _mm256_sub_epi64(c, one));
+}
+
+/// Loads codes[i*stride .. (i+3)*stride] into one vector. stride is 1
+/// (contiguous codes) or 2 (16-byte ElementRecords, code first) — the
+/// dispatcher in simd.cc routes any other stride to the scalar body.
+inline __m256i LoadCodes4(const uint64_t* base, size_t stride, size_t i) {
+  const uint64_t* p = base + i * stride;
+  if (stride == 1) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  // Two loads cover records i..i+3; unpacklo gathers the code qwords
+  // as [c0, c2, c1, c3] (128-bit lane semantics), the permute restores
+  // memory order.
+  __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4));
+  __m256i codes = _mm256_unpacklo_epi64(a, b);
+  return _mm256_permute4x64_epi64(codes, 0xD8);
+}
+
+/// Sign-bit mask of the four 64-bit lanes (compare results are all-ones
+/// or all-zero per lane, so this compresses them to 4 bits).
+inline unsigned LaneMask(__m256i pred) {
+  return static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(pred)));
+}
+
+}  // namespace
+
+size_t FilterDescendants(Code anc, const uint64_t* codes, size_t stride,
+                         size_t n, Code* out) {
+  const uint64_t lo = StartOf(anc);
+  const uint64_t hi = EndOf(anc);
+  const __m256i vlo = _mm256_set1_epi64x(static_cast<int64_t>(lo));
+  const __m256i vhi = _mm256_set1_epi64x(static_cast<int64_t>(hi));
+  const __m256i vanc = _mm256_set1_epi64x(static_cast<int64_t>(anc));
+  size_t cnt = 0;
+  size_t i = 0;
+  alignas(32) uint64_t tmp[4];
+  for (; i + 4 <= n; i += 4) {
+    __m256i c = LoadCodes4(codes, stride, i);
+    __m256i bad = _mm256_or_si256(
+        _mm256_or_si256(CmpGtU64(vlo, c), CmpGtU64(c, vhi)),
+        _mm256_cmpeq_epi64(c, vanc));
+    unsigned good = ~LaneMask(bad) & 0xFu;
+    if (good == 0) continue;
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), c);
+    while (good != 0) {
+      int lane = std::countr_zero(good);
+      good &= good - 1;
+      out[cnt++] = tmp[lane];
+    }
+  }
+  for (; i < n; ++i) {
+    Code c = codes[i * stride];
+    if (lo <= c && c <= hi && c != anc) out[cnt++] = c;
+  }
+  return cnt;
+}
+
+uint64_t AncestorMask64(const Code* ancs, size_t n, Code d) {
+  const __m256i vd = _mm256_set1_epi64x(static_cast<int64_t>(d));
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ancs + i));
+    __m256i bad = _mm256_or_si256(
+        _mm256_or_si256(CmpGtU64(StartsOf(a), vd), CmpGtU64(vd, EndsOf(a))),
+        _mm256_cmpeq_epi64(a, vd));
+    mask |= static_cast<uint64_t>(~LaneMask(bad) & 0xFu) << i;
+  }
+  for (; i < n; ++i) {
+    Code a = ancs[i];
+    if (StartOf(a) <= d && d <= EndOf(a) && a != d) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+size_t CountStartsBelow(const uint64_t* codes, size_t stride, size_t n,
+                        uint64_t threshold) {
+  const __m256i vthr = _mm256_set1_epi64x(static_cast<int64_t>(threshold));
+  size_t cnt = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i c = LoadCodes4(codes, stride, i);
+    cnt += static_cast<size_t>(
+        std::popcount(LaneMask(CmpGtU64(vthr, StartsOf(c)))));
+  }
+  for (; i < n; ++i) {
+    if (StartOf(codes[i * stride]) < threshold) ++cnt;
+  }
+  return cnt;
+}
+
+void RolledKeys(const uint64_t* codes, size_t stride, size_t n, int h,
+                uint64_t* out) {
+  // F(c, h) = ((c >> (h+1)) << (h+1)) + (1 << h) — the shifts just
+  // clear the low h+1 bits, and bit h of the cleared value is zero, so
+  // the whole thing is (c & ~((2 << h) - 1)) | (1 << h): two splat
+  // constants, no variable vector shifts.
+  const uint64_t keep = ~((uint64_t{2} << h) - 1);
+  const uint64_t bit = uint64_t{1} << h;
+  const __m256i vkeep = _mm256_set1_epi64x(static_cast<int64_t>(keep));
+  const __m256i vbit = _mm256_set1_epi64x(static_cast<int64_t>(bit));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i c = LoadCodes4(codes, stride, i);
+    __m256i key = _mm256_or_si256(_mm256_and_si256(c, vkeep), vbit);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), key);
+  }
+  for (; i < n; ++i) {
+    out[i] = (codes[i * stride] & keep) | bit;
+  }
+}
+
+void PackPairsFixedAncestor(Code anc, const Code* descs, size_t n,
+                            uint64_t* out_pairs) {
+  const __m256i va = _mm256_set1_epi64x(static_cast<int64_t>(anc));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(descs + i));
+    __m256i lo = _mm256_unpacklo_epi64(va, d);  // [a, d0 | a, d2]
+    __m256i hi = _mm256_unpackhi_epi64(va, d);  // [a, d1 | a, d3]
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_pairs + 2 * i),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_pairs + 2 * i + 4),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+  for (; i < n; ++i) {
+    out_pairs[2 * i] = anc;
+    out_pairs[2 * i + 1] = descs[i];
+  }
+}
+
+void PackPairsFixedDescendant(const Code* ancs, size_t n, Code desc,
+                              uint64_t* out_pairs) {
+  const __m256i vd = _mm256_set1_epi64x(static_cast<int64_t>(desc));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ancs + i));
+    __m256i lo = _mm256_unpacklo_epi64(a, vd);  // [a0, d | a2, d]
+    __m256i hi = _mm256_unpackhi_epi64(a, vd);  // [a1, d | a3, d]
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_pairs + 2 * i),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_pairs + 2 * i + 4),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+  for (; i < n; ++i) {
+    out_pairs[2 * i] = ancs[i];
+    out_pairs[2 * i + 1] = desc;
+  }
+}
+
+}  // namespace pbitree::simd::avx2
+
+#endif  // PBITREE_SIMD_AVX2_COMPILED && __AVX2__

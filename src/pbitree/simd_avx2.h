@@ -1,0 +1,36 @@
+#ifndef PBITREE_PBITREE_SIMD_AVX2_H_
+#define PBITREE_PBITREE_SIMD_AVX2_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pbitree/code.h"
+
+// Internal declarations of the AVX2 kernel bodies, defined in
+// simd_avx2.cc (the only translation unit compiled with -mavx2).
+// Callers must check simd::Enabled() first: these are compiled for an
+// AVX2 target and fault on CPUs without it. When the toolchain cannot
+// target AVX2 the macro PBITREE_SIMD_AVX2_COMPILED is absent and these
+// symbols do not exist.
+
+#if defined(PBITREE_SIMD_AVX2_COMPILED)
+
+namespace pbitree::simd::avx2 {
+
+size_t FilterDescendants(Code anc, const uint64_t* codes, size_t stride,
+                         size_t n, Code* out);
+uint64_t AncestorMask64(const Code* ancs, size_t n, Code d);
+size_t CountStartsBelow(const uint64_t* codes, size_t stride, size_t n,
+                        uint64_t threshold);
+void RolledKeys(const uint64_t* codes, size_t stride, size_t n, int h,
+                uint64_t* out);
+void PackPairsFixedAncestor(Code anc, const Code* descs, size_t n,
+                            uint64_t* out_pairs);
+void PackPairsFixedDescendant(const Code* ancs, size_t n, Code desc,
+                              uint64_t* out_pairs);
+
+}  // namespace pbitree::simd::avx2
+
+#endif  // PBITREE_SIMD_AVX2_COMPILED
+
+#endif  // PBITREE_PBITREE_SIMD_AVX2_H_

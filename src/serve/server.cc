@@ -11,6 +11,7 @@
 
 #include "common/env.h"
 #include "framework/runner.h"
+#include "join/algorithm_registry.h"
 #include "serve/socket_sink.h"
 #include "storage/disk_manager.h"
 
@@ -322,10 +323,29 @@ Status Server::HandleJoin(int fd, const Request& req) {
   }
   Algorithm alg{};
   const bool is_auto = alg_name == "auto";
-  if (!is_auto && !ParseAlgorithm(alg_name, &alg)) {
-    return WriteFrame(fd, FrameType::kError,
-                      EncodeError(Status::InvalidArgument(
-                          "unknown algorithm '" + alg_name + "'")));
+  if (!is_auto) {
+    // Registry lookup: the error names every valid algorithm.
+    StatusOr<Algorithm> parsed = AlgorithmFromName(alg_name);
+    if (!parsed.ok()) {
+      return WriteFrame(fd, FrameType::kError, EncodeError(parsed.status()));
+    }
+    alg = *parsed;
+  }
+
+  // Optional per-query SIMD override ("simd=off" forces the scalar
+  // kernels — join output is identical, this is a measurement knob).
+  std::optional<bool> simd;
+  if (auto it = req.params.find("simd"); it != req.params.end()) {
+    const std::string& v = it->second;
+    if (v == "on" || v == "1") {
+      simd = true;
+    } else if (v == "off" || v == "0") {
+      simd = false;
+    } else {
+      return WriteFrame(fd, FrameType::kError,
+                        EncodeError(Status::InvalidArgument(
+                            "bad simd value '" + v + "' (want on|off)")));
+    }
   }
 
   // Queue wait counts toward the client-observed query latency.
@@ -340,6 +360,7 @@ Status Server::HandleJoin(int fd, const Request& req) {
   options.work_pages = PerQueryWorkPages();
   options.shared_exec = exec_.get();
   options.flush_pool = false;  // phase op; see RunOptions::flush_pool
+  options.simd = simd;
   SocketSink sink(fd);
   StatusOr<RunResult> run =
       segmented

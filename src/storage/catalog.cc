@@ -118,8 +118,13 @@ Status Catalog::Put(const std::string& name, const ElementSet& set,
   e.num_records = set.num_records();
   e.num_pages = set.num_pages();
   e.tree_height = set.spec.height;
-  e.flags = (set.sorted_by_start ? kFlagSorted : 0u) |
-            (extra_flags & ~kFlagSorted & ~kFlagSegmented);
+  // Sortedness and codec are derived from the set itself — extra_flags
+  // cannot override them (or mark the entry segmented; PutMaster does).
+  e.flags =
+      (set.sorted_by_start ? kFlagSorted : 0u) |
+      (set.file.codec() == PageCodecKind::kFoRDelta ? kFlagCodecFoRDelta
+                                                    : 0u) |
+      (extra_flags & ~kFlagSorted & ~kFlagSegmented & ~kFlagCodecFoRDelta);
   e.height_mask = set.height_mask;
   e.min_start = set.min_start;
   e.max_end = set.max_end;
@@ -139,8 +144,11 @@ StatusOr<ElementSet> Catalog::Get(BufferManager* bm,
         "element set '" + name +
         "' is segmented; open it through a SegmentStore");
   }
+  const PageCodecKind codec = (e.flags & kFlagCodecFoRDelta) != 0
+                                  ? PageCodecKind::kFoRDelta
+                                  : PageCodecKind::kRaw;
   PBITREE_ASSIGN_OR_RETURN(HeapFile file,
-                           HeapFile::Attach(bm, e.first_page));
+                           HeapFile::Attach(bm, e.first_page, codec));
   if (file.num_records() != e.num_records) {
     return Status::Corruption("catalog entry '" + name +
                               "' does not match the on-disk file");

@@ -42,6 +42,9 @@ class Catalog {
   static constexpr uint32_t kFlagHasReplicas = 4u;  // segment piece holds
                                                     // foreign-designated
                                                     // ancestor replicas
+  static constexpr uint32_t kFlagCodecFoRDelta = 8u;  // pages use the
+                                                      // kFoRDelta codec
+                                                      // (absent = raw)
 
   Catalog() = default;
 

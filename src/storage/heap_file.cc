@@ -4,9 +4,10 @@
 
 namespace pbitree {
 
-Result<HeapFile> HeapFile::Create(BufferManager* bm) {
+Result<HeapFile> HeapFile::Create(BufferManager* bm, PageCodecKind codec) {
   PBITREE_ASSIGN_OR_RETURN(Page * p, bm->NewPage());
   HeapFile f;
+  f.codec_ = codec;
   f.first_page_ = p->page_id();
   f.last_page_ = p->page_id();
   f.num_pages_ = 1;
@@ -17,11 +18,13 @@ Result<HeapFile> HeapFile::Create(BufferManager* bm) {
   return f;
 }
 
-Result<HeapFile> HeapFile::Attach(BufferManager* bm, PageId first_page) {
+Result<HeapFile> HeapFile::Attach(BufferManager* bm, PageId first_page,
+                                  PageCodecKind codec) {
   if (first_page == kInvalidPageId) {
     return Status::InvalidArgument("Attach: invalid first page");
   }
   HeapFile f;
+  f.codec_ = codec;
   f.first_page_ = first_page;
   PageId pid = first_page;
   while (pid != kInvalidPageId) {
@@ -59,6 +62,9 @@ Status HeapFile::Concat(BufferManager* bm, HeapFile* tail) {
   if (!valid() || !tail->valid()) {
     return Status::InvalidArgument("Concat: invalid heap file handle");
   }
+  if (codec_ != tail->codec_) {
+    return Status::InvalidArgument("Concat: page codec mismatch");
+  }
   {
     PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(last_page_));
     SetNext(p, tail->first_page_);
@@ -88,7 +94,57 @@ Status HeapFile::Appender::RetireTail() {
   return Status::OK();
 }
 
+Status HeapFile::Appender::EncodeTail() {
+  const PageCodec* codec = GetPageCodec(file_->codec_);
+  PBITREE_RETURN_IF_ERROR(
+      codec->Encode(staged_, tail_->data() + kHeaderSize));
+  SetCount(tail_, static_cast<uint16_t>(staged_.size()));
+  return Status::OK();
+}
+
+Status HeapFile::Appender::AppendCodec(const ElementRecord& rec) {
+  if (tail_ == nullptr) {
+    PBITREE_ASSIGN_OR_RETURN(Page * p, bm_->FetchPage(file_->last_page_));
+    tail_ = p;
+    // Stage what the tail page already holds so appends resume exactly
+    // where the file left off (the per-record HeapFile::Append
+    // convenience builds a fresh Appender every call).
+    staged_.clear();
+    sizer_.Reset();
+    const uint16_t count = GetCount(tail_);
+    if (count > 0) {
+      staged_.resize(count);
+      PBITREE_RETURN_IF_ERROR(GetPageCodec(file_->codec_)
+                                  ->Decode(tail_->data() + kHeaderSize, count,
+                                           staged_.data()));
+      for (const ElementRecord& r : staged_) sizer_.Add(r);
+    }
+  }
+  if (!sizer_.CanHold(rec)) {
+    // Tail is full for this codec: encode it, chain a fresh page.
+    PBITREE_RETURN_IF_ERROR(EncodeTail());
+    PBITREE_ASSIGN_OR_RETURN(Page * np, bm_->NewPage());
+    SetNext(np, kInvalidPageId);
+    SetCount(np, 0);
+    SetNext(tail_, np->page_id());
+    PBITREE_RETURN_IF_ERROR(RetireTail());
+    tail_ = np;
+    file_->last_page_ = np->page_id();
+    file_->pages_.push_back(np->page_id());
+    ++file_->num_pages_;
+    staged_.clear();
+    sizer_.Reset();
+  }
+  staged_.push_back(rec);
+  sizer_.Add(rec);
+  ++file_->num_records_;
+  return Status::OK();
+}
+
 Status HeapFile::Appender::Append(const void* record) {
+  if (file_->codec_ != PageCodecKind::kRaw) {
+    return AppendCodec(*static_cast<const ElementRecord*>(record));
+  }
   if (tail_ == nullptr) {
     PBITREE_ASSIGN_OR_RETURN(Page * p, bm_->FetchPage(file_->last_page_));
     tail_ = p;
@@ -114,6 +170,13 @@ Status HeapFile::Appender::Append(const void* record) {
 }
 
 Status HeapFile::Appender::AppendBatch(const void* records, size_t n) {
+  if (file_->codec_ != PageCodecKind::kRaw) {
+    const auto* recs = static_cast<const ElementRecord*>(records);
+    for (size_t i = 0; i < n; ++i) {
+      PBITREE_RETURN_IF_ERROR(AppendCodec(recs[i]));
+    }
+    return Status::OK();
+  }
   const char* src = static_cast<const char*>(records);
   while (n > 0) {
     if (tail_ == nullptr) {
@@ -146,6 +209,10 @@ Status HeapFile::Appender::AppendBatch(const void* records, size_t n) {
 
 Status HeapFile::Appender::Finish() {
   if (tail_ != nullptr) {
+    if (file_->codec_ != PageCodecKind::kRaw) {
+      Status est = EncodeTail();
+      if (status_.ok()) status_ = est;
+    }
     Status st = bm_->UnpinPage(tail_->page_id(), /*dirty=*/true);
     if (status_.ok()) status_ = st;
     tail_ = nullptr;
@@ -201,6 +268,24 @@ size_t HeapFile::Scanner::FillPage() {
     cur_index_ = 0;
     cur_count_ = GetCount(cur_);
     next_page_ = GetNext(cur_);
+    if (codec_ != PageCodecKind::kRaw && cur_count_ > 0) {
+      const PageCodec* codec = GetPageCodec(codec_);
+      if (decode_buf_ == nullptr) {
+        decode_buf_ = std::make_unique<ElementRecord[]>(codec->max_records());
+      }
+      if (cur_count_ > codec->max_records()) {
+        status_ = Status::Corruption("heap page count exceeds codec maximum");
+      } else {
+        status_ = codec->Decode(cur_->data() + kHeaderSize, cur_count_,
+                                decode_buf_.get());
+      }
+      if (!status_.ok()) {
+        Status st = bm_->UnpinPage(cur_->page_id(), false);
+        (void)st;  // the decode error wins
+        cur_ = nullptr;
+        return 0;
+      }
+    }
   }
 }
 
@@ -208,7 +293,7 @@ bool HeapFile::Scanner::Next(void* out, Status* status) {
   size_t avail = FillPage();
   if (status != nullptr) *status = status_;
   if (avail == 0) return false;
-  std::memcpy(out, RecordAt(cur_, cur_index_), kRecordSize);
+  std::memcpy(out, CurRecordBase(cur_index_), kRecordSize);
   ++cur_index_;
   return true;
 }

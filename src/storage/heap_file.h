@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <unordered_set>
@@ -11,32 +12,10 @@
 #include "common/status.h"
 #include "storage/buffer_manager.h"
 #include "storage/page.h"
+#include "storage/page_codec.h"
+#include "storage/record.h"
 
 namespace pbitree {
-
-/// \brief A PBiTree-coded XML element as stored on disk.
-///
-/// 16 bytes; 255 records fit in one 4 KiB page. `code` is the PBiTree
-/// code (Section 2 of the paper), `tag` identifies the element name and
-/// `doc` the owning document.
-struct ElementRecord {
-  uint64_t code = 0;
-  uint32_t tag = 0;
-  uint32_t doc = 0;
-
-  friend bool operator==(const ElementRecord&, const ElementRecord&) = default;
-};
-static_assert(sizeof(ElementRecord) == 16);
-
-/// \brief One (ancestor, descendant) output tuple of a containment join.
-struct ResultPair {
-  uint64_t ancestor_code = 0;
-  uint64_t descendant_code = 0;
-
-  friend bool operator==(const ResultPair&, const ResultPair&) = default;
-  friend auto operator<=>(const ResultPair&, const ResultPair&) = default;
-};
-static_assert(sizeof(ResultPair) == 16);
 
 /// \brief Page-chained file of fixed 16-byte records (elements or result
 /// pairs) — the Minibase heap-file stand-in.
@@ -45,6 +24,17 @@ static_assert(sizeof(ResultPair) == 16);
 /// appends are charged exactly one physical I/O per page miss. The file
 /// handle itself (first/last page, counts) is an in-memory value object;
 /// copying the handle aliases the same on-disk pages.
+///
+/// A file is created with a PageCodecKind that fixes how its pages'
+/// record areas are encoded (see page_codec.h). kRaw keeps the seed
+/// layout and the zero-copy scan path byte for byte; other codecs
+/// decode each page into a per-scanner buffer as it is fetched, and the
+/// Appender stages the tail page's records in memory, encoding them
+/// when the page fills or on Finish. The codec is a property of the
+/// whole file; the handle carries it, and re-attaching (Catalog) must
+/// pass the same kind it was created with. Non-raw codecs only make
+/// sense for ElementRecord files (the encoder reads tag/doc fields) —
+/// pair/spill/temp files stay raw.
 class HeapFile {
  public:
   static constexpr size_t kRecordSize = 16;
@@ -55,15 +45,21 @@ class HeapFile {
   HeapFile() = default;
 
   /// Creates an empty file (allocates its first page).
-  static Result<HeapFile> Create(BufferManager* bm);
+  static Result<HeapFile> Create(BufferManager* bm,
+                                 PageCodecKind codec = PageCodecKind::kRaw);
 
   /// Re-attaches a handle to an existing on-disk file (e.g. after a
   /// catalog load) by walking its page chain to rebuild the directory
-  /// and the counts. Costs one read per page.
-  static Result<HeapFile> Attach(BufferManager* bm, PageId first_page);
+  /// and the counts. Costs one read per page. `codec` must be the kind
+  /// the file was created with (the Catalog records it as a flag) —
+  /// page headers hold logical record counts, so the walk itself is
+  /// codec-agnostic.
+  static Result<HeapFile> Attach(BufferManager* bm, PageId first_page,
+                                 PageCodecKind codec = PageCodecKind::kRaw);
 
   bool valid() const { return first_page_ != kInvalidPageId; }
   PageId first_page() const { return first_page_; }
+  PageCodecKind codec() const { return codec_; }
   uint64_t num_records() const { return num_records_; }
   /// ||R|| in the paper's notation: number of disk pages.
   uint64_t num_pages() const { return num_pages_; }
@@ -79,7 +75,8 @@ class HeapFile {
 
   /// Appends the pages of `tail` to this file (O(1) page I/O: links the
   /// chains and merges the directories). `tail` becomes invalid. Used
-  /// by VPJ partition merging.
+  /// by VPJ partition merging. Both files must use the same page codec
+  /// (pages are adopted as-is, not re-encoded).
   Status Concat(BufferManager* bm, HeapFile* tail);
 
   /// \brief Bulk appender holding the tail page pinned between calls.
@@ -128,10 +125,22 @@ class HeapFile {
     /// background flush.
     Status RetireTail();
 
+    /// Non-raw append path: stages the tail page's records in memory
+    /// (decoding what the page already held on first use) and encodes
+    /// on page-full / Finish. Admission is O(1) via FoRDeltaSizer.
+    Status AppendCodec(const ElementRecord& rec);
+
+    /// Encodes the staged records into the pinned tail page and stamps
+    /// its logical count.
+    Status EncodeTail();
+
     BufferManager* bm_;
     HeapFile* file_;
     Page* tail_ = nullptr;
     bool write_behind_ = false;
+    /// Codec staging state (unused for kRaw files).
+    std::vector<ElementRecord> staged_;
+    FoRDeltaSizer sizer_;
     Status status_;
   };
 
@@ -150,7 +159,7 @@ class HeapFile {
   class Scanner {
    public:
     Scanner(BufferManager* bm, const HeapFile& file)
-        : bm_(bm), next_page_(file.first_page_) {
+        : bm_(bm), next_page_(file.first_page_), codec_(file.codec_) {
       if (bm_->readahead_pages() > 0) ra_pages_ = file.pages_;
     }
     ~Scanner() { Close(); }
@@ -173,9 +182,11 @@ class HeapFile {
     /// Zero-copy batch scan: returns a view over the not-yet-consumed
     /// records of the current page (fetching the next chained page when
     /// the current one is exhausted) and marks them consumed. The span
-    /// aliases the pinned buffer-pool frame and is invalidated by the
-    /// next NextBatch/Next/Close call — consume it before advancing.
-    /// Empty span at end of file or on error (check status()).
+    /// aliases the pinned buffer-pool frame — or, for a non-raw codec,
+    /// the scanner's own 16-byte-aligned decode buffer — and is
+    /// invalidated by the next NextBatch/Next/Close call; consume it
+    /// before advancing. Empty span at end of file or on error (check
+    /// status()).
     std::span<const ElementRecord> NextElementBatch() {
       return NextBatch<ElementRecord>();
     }
@@ -196,13 +207,21 @@ class HeapFile {
                     sizeof(Record) == kRecordSize);
       size_t n = FillPage();
       if (n == 0) return {};
-      // In-place view of the page's record area: records are written
-      // with memcpy (implicit-lifetime types), the header keeps them
-      // 8-byte aligned (see Page::data_), so the cast is sound.
+      // In-place view of the record area: records are written with
+      // memcpy (implicit-lifetime types), the page header / decode
+      // buffer keeps them 8-byte aligned, so the cast is sound.
       const Record* base =
-          reinterpret_cast<const Record*>(RecordAt(cur_, cur_index_));
+          reinterpret_cast<const Record*>(CurRecordBase(cur_index_));
       cur_index_ = cur_count_;
       return {base, n};
+    }
+
+    /// Address of record `i` of the current page: inside the pinned
+    /// frame for raw files, inside the decode buffer otherwise.
+    const char* CurRecordBase(size_t i) const {
+      return codec_ == PageCodecKind::kRaw
+                 ? RecordAt(cur_, i)
+                 : reinterpret_cast<const char*>(decode_buf_.get() + i);
     }
 
     /// Ensures the current page has unread records, chaining to the
@@ -217,9 +236,15 @@ class HeapFile {
 
     BufferManager* bm_;
     PageId next_page_;
+    PageCodecKind codec_ = PageCodecKind::kRaw;
     Page* cur_ = nullptr;
     size_t cur_index_ = 0;
     size_t cur_count_ = 0;
+    /// Per-scanner decode target for non-raw codecs, allocated on the
+    /// first page fetch (sized for the codec's max_records). Lives as
+    /// long as the scanner, so spans into it obey the same lifetime
+    /// rule as spans into the pinned frame.
+    std::unique_ptr<ElementRecord[]> decode_buf_;
     /// Readahead state: the directory snapshot (empty = readahead off),
     /// the directory index of the next page to prefetch, how many pages
     /// this scan has fetched (= directory index of the page being
@@ -289,6 +314,7 @@ class HeapFile {
 
   PageId first_page_ = kInvalidPageId;
   PageId last_page_ = kInvalidPageId;
+  PageCodecKind codec_ = PageCodecKind::kRaw;
   uint64_t num_records_ = 0;
   uint64_t num_pages_ = 0;
   std::vector<PageId> pages_;  // directory of all pages, in chain order
@@ -298,6 +324,8 @@ class HeapFile {
 // 8-byte-aligned offset inside the (8-byte-aligned) page frame.
 static_assert(HeapFile::kHeaderSize % alignof(ElementRecord) == 0);
 static_assert(HeapFile::kHeaderSize % alignof(ResultPair) == 0);
+// page_codec.h's payload constant must mirror the page header.
+static_assert(kCodecPayloadSize == kPageSize - HeapFile::kHeaderSize);
 
 }  // namespace pbitree
 

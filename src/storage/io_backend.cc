@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "storage/async_io.h"
+#include "storage/factory.h"
 
 namespace pbitree {
 
@@ -333,6 +334,7 @@ Status FaultInjectingBackend::WritePage(PageId id, const char* in) {
 
 StatusOr<std::unique_ptr<IoBackend>> MakeIoBackend(const std::string& kind,
                                                    const std::string& path) {
+  PBITREE_RETURN_IF_ERROR(ValidateIoBackendKind(kind));
   if (kind == "mem") {
     return std::unique_ptr<IoBackend>(new MemIoBackend());
   }
@@ -351,6 +353,7 @@ StatusOr<std::unique_ptr<IoBackend>> MakeIoBackend(const std::string& kind,
     return std::unique_ptr<IoBackend>(
         new AsyncIoBackend(std::move(inner).value(), /*workers=*/2));
   }
+  // Unreachable: ValidateIoBackendKind vets the vocabulary up front.
   return Status::InvalidArgument("unknown backend '" + kind +
                                  "' (want file|mem|async-file|async-mem)");
 }

@@ -1,0 +1,114 @@
+#ifndef PBITREE_STORAGE_PAGE_CODEC_H_
+#define PBITREE_STORAGE_PAGE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/record.h"
+
+namespace pbitree {
+
+/// \brief Pluggable encoding of a heap-file page's record area.
+///
+/// Every heap page keeps the same 8-byte header (u32 next-page id, u16
+/// record count, u16 pad) regardless of codec; the count field always
+/// holds the LOGICAL number of records the page decodes to, so chain
+/// walks (HeapFile::Attach) and catalog record-count verification work
+/// unchanged. Only the payload after the header is codec-specific:
+///
+/// - kRaw: the seed layout, byte for byte — records stored verbatim at
+///   payload offset 0, 255 per page. HeapFile serves raw pages through
+///   its zero-copy span path without ever calling the codec.
+/// - kFoRDelta: frame-of-reference + varint. payload[0] is a mode byte:
+///     mode 1 (delta): record 0 as 8-byte little-endian code + varint
+///       tag + varint doc; each later record as zigzag-varint code
+///       delta from its predecessor + varint tag + varint doc.
+///     mode 0 (raw16): the 16-byte records verbatim at payload offset 1
+///       — the per-page fallback for worst-case (unsorted, wild-delta)
+///       data, capped at 255 records like a raw page.
+///   The encoder picks delta iff it both fits and beats raw16; pages of
+///   near-sorted codes (the common case — element sets are appended in
+///   document order) hold up to ~5x more records.
+///
+/// Codecs are stateless singletons; all byte buffers are caller-owned.
+/// Encode zeroes the unused payload tail so re-encoding equal content
+/// yields byte-identical pages.
+enum class PageCodecKind : uint8_t {
+  kRaw = 0,
+  kFoRDelta = 1,
+};
+
+/// Canonical lower-case name ("raw", "for-delta") — the CLI/catalog
+/// vocabulary. Parsing lives in storage/factory.h.
+const char* PageCodecName(PageCodecKind kind);
+
+/// Bytes of a heap page available to the codec (everything after the
+/// 8-byte chain header; heap_file.h asserts the two stay in sync).
+inline constexpr size_t kCodecPayloadSize = kPageSize - 8;
+
+/// Hard ceiling on the logical records of any encoded page: a delta
+/// page needs >= 3 bytes per record past the first, so the count always
+/// fits the header's u16.
+inline constexpr size_t kMaxCodecRecordsPerPage =
+    (kCodecPayloadSize - 1 - 10) / 3 + 1;
+static_assert(kMaxCodecRecordsPerPage < 65536);
+
+class PageCodec {
+ public:
+  virtual ~PageCodec() = default;
+
+  virtual PageCodecKind kind() const = 0;
+
+  /// Upper bound on the records one page can hold under this codec
+  /// (actual capacity of a kFoRDelta page depends on its contents).
+  virtual size_t max_records() const = 0;
+
+  /// Encodes `recs` into `payload` (kCodecPayloadSize bytes). Fails
+  /// with InvalidArgument when the records do not fit — callers size
+  /// pages with CanHold/FoRDeltaSizer before encoding.
+  virtual Status Encode(std::span<const ElementRecord> recs,
+                        char* payload) const = 0;
+
+  /// Decodes `count` records from `payload` into `out` (room for
+  /// `count`). Fails with Corruption on a malformed payload.
+  virtual Status Decode(const char* payload, size_t count,
+                        ElementRecord* out) const = 0;
+};
+
+/// The process-wide stateless codec for `kind` (never null).
+const PageCodec* GetPageCodec(PageCodecKind kind);
+
+/// \brief Incremental byte accounting for the kFoRDelta appender path:
+/// tracks the delta-mode encoded size of a page as records are staged,
+/// so per-record admission is O(1) instead of re-encoding the page.
+class FoRDeltaSizer {
+ public:
+  /// Delta-mode bytes if `rec` were appended after the current staged
+  /// contents.
+  size_t BytesWith(const ElementRecord& rec) const;
+
+  /// Commits `rec` (must mirror the staging buffer exactly).
+  void Add(const ElementRecord& rec);
+
+  void Reset() { *this = FoRDeltaSizer(); }
+
+  size_t bytes() const { return bytes_; }
+  size_t count() const { return count_; }
+
+  /// Admission test for one more record on a kFoRDelta page: it fits
+  /// if the delta encoding still fits the payload, or if the page can
+  /// still fall back to the 255-record raw16 mode.
+  bool CanHold(const ElementRecord& rec) const;
+
+ private:
+  size_t bytes_ = 1;  // the mode byte
+  size_t count_ = 0;
+  uint64_t prev_code_ = 0;
+};
+
+}  // namespace pbitree
+
+#endif  // PBITREE_STORAGE_PAGE_CODEC_H_

@@ -1,0 +1,34 @@
+#ifndef PBITREE_STORAGE_RECORD_H_
+#define PBITREE_STORAGE_RECORD_H_
+
+#include <cstdint>
+
+namespace pbitree {
+
+/// \brief A PBiTree-coded XML element as stored on disk.
+///
+/// 16 bytes; 255 records fit in one 4 KiB page under the raw codec.
+/// `code` is the PBiTree code (Section 2 of the paper), `tag` identifies
+/// the element name and `doc` the owning document.
+struct ElementRecord {
+  uint64_t code = 0;
+  uint32_t tag = 0;
+  uint32_t doc = 0;
+
+  friend bool operator==(const ElementRecord&, const ElementRecord&) = default;
+};
+static_assert(sizeof(ElementRecord) == 16);
+
+/// \brief One (ancestor, descendant) output tuple of a containment join.
+struct ResultPair {
+  uint64_t ancestor_code = 0;
+  uint64_t descendant_code = 0;
+
+  friend bool operator==(const ResultPair&, const ResultPair&) = default;
+  friend auto operator<=>(const ResultPair&, const ResultPair&) = default;
+};
+static_assert(sizeof(ResultPair) == 16);
+
+}  // namespace pbitree
+
+#endif  // PBITREE_STORAGE_RECORD_H_

@@ -30,6 +30,7 @@ StatusOr<std::unique_ptr<SegmentStore>> SegmentStore::Open(
   const bool restore_frontier = IsPersistentKind(opts.backend);
 
   auto store = std::unique_ptr<SegmentStore>(new SegmentStore());
+  store->page_codec_ = opts.page_codec;
   PBITREE_ASSIGN_OR_RETURN(auto main_backend, make(opts.path));
   PBITREE_ASSIGN_OR_RETURN(
       DiskManager * main_disk,
@@ -93,7 +94,7 @@ Status SegmentStore::StoreSet(const std::string& name, const ElementSet& src,
     // Pre-sharding layout: one source-order copy into the main file.
     PBITREE_ASSIGN_OR_RETURN(
         ElementSetBuilder builder,
-        ElementSetBuilder::Create(main_.bm.get(), src.spec));
+        ElementSetBuilder::Create(main_.bm.get(), src.spec, page_codec_));
     HeapFile::Scanner scan(src_bm, src.file);
     for (std::span<const ElementRecord> batch = scan.NextElementBatch();
          !batch.empty(); batch = scan.NextElementBatch()) {
@@ -121,7 +122,8 @@ Status SegmentStore::StoreSet(const std::string& name, const ElementSet& src,
     if (!builders[k].has_value()) {
       PBITREE_ASSIGN_OR_RETURN(
           ElementSetBuilder b,
-          ElementSetBuilder::Create(segments_[k].bm.get(), src.spec));
+          ElementSetBuilder::Create(segments_[k].bm.get(), src.spec,
+                                    page_codec_));
       builders[k].emplace(std::move(b));
     }
     return Status::OK();

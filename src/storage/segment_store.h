@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,10 @@ class SegmentStore {
     /// catalog header says (0 for fresh or pre-sharding databases).
     /// Opening a non-empty store with a conflicting level is an error.
     int create_level = -1;
+    /// Page codec for set files written by StoreSet (main-file copies
+    /// at level 0, segment pieces otherwise). std::nullopt takes the
+    /// ambient default (PBITREE_PAGE_CODEC, normally raw).
+    std::optional<PageCodecKind> page_codec;
     /// Test hook: builds each IoBackend from its path (main and
     /// segments). Defaults to MakeIoBackend(backend, path) — tests
     /// wrap MemIoBackend in a FaultInjectingBackend here.
@@ -124,6 +129,7 @@ class SegmentStore {
   Piece* piece(size_t k) { return level_ == 0 ? &main_ : &segments_[k]; }
 
   int level_ = 0;
+  std::optional<PageCodecKind> page_codec_;  // StoreSet's codec choice
   Piece main_;
   std::vector<Piece> segments_;  // empty at level 0
 };

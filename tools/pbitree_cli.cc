@@ -38,12 +38,14 @@
 #include "common/timer.h"
 #include "framework/planner.h"
 #include "framework/runner.h"
+#include "join/algorithm_registry.h"
 #include "join/element_set.h"
 #include "obs/metrics.h"
 #include "pbitree/binarize.h"
 #include "query/twig_query.h"
 #include "serve/client.h"
 #include "storage/catalog.h"
+#include "storage/factory.h"
 #include "storage/io_backend.h"
 #include "storage/segment_store.h"
 #include "xml/parser.h"
@@ -64,6 +66,9 @@ struct GlobalOptions {
   int readahead = -1;  // scan readahead pages; -1 = pool default
   int segments = -1;   // encode: code-space sharding level l (2^l segment
                        // files); -1/0 = unsegmented single-file layout
+  int simd = -1;       // query: -1 = process default, 0 = scalar, 1 = AVX2
+  std::string page_codec_name;  // encode: raw string from --page-codec
+  std::optional<PageCodecKind> page_codec;  // parsed; nullopt = ambient
   bool metrics = false;
   bool help = false;
 };
@@ -119,6 +124,7 @@ int CmdEncodeSegmented(const GlobalOptions& g, const std::string& db_path,
   sopts.path = db_path;
   sopts.pool_pages = kPoolPages;
   sopts.create_level = g.segments;
+  sopts.page_codec = g.page_codec;
   auto store = SegmentStore::Open(sopts);
   if (!store.ok()) return Fail(store.status());
 
@@ -133,7 +139,10 @@ int CmdEncodeSegmented(const GlobalOptions& g, const std::string& db_path,
                   tags.size() - stored);
       break;
     }
-    auto set = ExtractTagSet(&scratch_bm, tree, spec, tag);
+    // The scratch copy is routing input only — keep it raw; StoreSet
+    // writes the persistent segment pieces with the requested codec.
+    auto set = ExtractTagSet(&scratch_bm, tree, spec, tag, /*doc=*/0,
+                             PageCodecKind::kRaw);
     if (!set.ok()) return Fail(set.status());
     Status st = (*store)->StoreSet(tree.tag_name(tag), *set, &scratch_bm);
     if (Status drop = set->file.Drop(&scratch_bm); !drop.ok()) {
@@ -183,7 +192,7 @@ int CmdEncode(const GlobalOptions& g, const std::vector<std::string>& args) {
                   tags.size() - stored);
       break;
     }
-    auto set = ExtractTagSet(&bm, tree, spec, tag);
+    auto set = ExtractTagSet(&bm, tree, spec, tag, /*doc=*/0, g.page_codec);
     if (!set.ok()) return Fail(set.status());
     if (Status st = catalog->Put(tree.tag_name(tag), *set); !st.ok()) {
       std::fprintf(stderr, "skipping '%s': %s\n",
@@ -328,6 +337,7 @@ int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
   if (g.readahead >= 0) {
     opts.readahead_pages = static_cast<size_t>(g.readahead);
   }
+  if (g.simd >= 0) opts.simd = g.simd != 0;
   // The evaluator owns and drops every provider-returned set, so the
   // provider must never hand out the stored files themselves — a freed
   // stored page gets reused by query temps and the database is
@@ -387,20 +397,28 @@ struct Subcommand {
   int (*run)(const GlobalOptions&, const std::vector<std::string>&);
 };
 
-constexpr const char* kCommonOptions =
-    "  --backend=KIND      storage backend: file|mem|async-file|async-mem\n"
-    "                      (default file; mem is volatile; async-* routes\n"
-    "                      transfers through a worker-thread queue)\n"
-    "  --readahead N       scan readahead window in pages (default: the\n"
-    "                      pool's PBITREE_READAHEAD_PAGES; 0 = synchronous)\n"
-    "  --help              show this help\n";
+/// Composed at runtime so the vocabulary lines come from the factory /
+/// registry — one source of truth with the parsers.
+std::string CommonOptions() {
+  return std::string("  --backend=KIND      storage backend: ") +
+         IoBackendHelp() +
+         "\n"
+         "                      (default file; mem is volatile; async-* routes\n"
+         "                      transfers through a worker-thread queue)\n"
+         "  --readahead N       scan readahead window in pages (default: the\n"
+         "                      pool's PBITREE_READAHEAD_PAGES; 0 = synchronous)\n"
+         "  --help              show this help\n";
+}
 
 const Subcommand kSubcommands[] = {
     {"encode", "<doc.xml> <db>",
      "parse + binarize one document, store an element set per tag",
      "  --segments L        shard each set over 2^L segment files by code\n"
      "                      space (0 — the default — keeps the single-file\n"
-     "                      layout; list/query open either transparently)\n",
+     "                      layout; list/query open either transparently)\n"
+     "  --page-codec KIND   page encoding of the stored element sets:\n"
+     "                      raw|for-delta (default: PBITREE_PAGE_CODEC or\n"
+     "                      raw; readers pick the codec up from the catalog)\n",
      2, CmdEncode},
     {"list", "<db>", "show the element sets stored in the catalog",
      "  --server HOST:PORT  list a running pbitree_serverd's catalog\n", 0,
@@ -409,9 +427,12 @@ const Subcommand kSubcommands[] = {
      "evaluate a descendant path by chaining containment joins",
      "  --threads N         worker threads for partitioned joins (default 1)\n"
      "  --metrics           print the per-operation metrics report as JSON\n"
+     "  --simd on|off       force the AVX2 kernels on or off for this query\n"
+     "                      (default: PBITREE_SIMD; output is identical)\n"
      "  --server HOST:PORT  run on pbitree_serverd ('//a//b' paths only;\n"
      "                      --metrics fetches the server's registry)\n"
-     "  --alg NAME          server mode: SHCJ|MHCJ|...|auto (default auto)\n",
+     "  --alg NAME          server mode: algorithm to request, or auto\n"
+     "                      (default auto; names as listed by the registry)\n",
      1, CmdQuery},
 };
 
@@ -425,12 +446,13 @@ void PrintGlobalUsage(const char* prog, std::FILE* out) {
   std::fprintf(out,
                "\ncommon options:\n%s\nrun '%s <command> --help' for "
                "command-specific options\n",
-               kCommonOptions, prog);
+               CommonOptions().c_str(), prog);
 }
 
 void PrintSubcommandHelp(const char* prog, const Subcommand& sc) {
   std::printf("usage: %s %s [options] %s\n%s\noptions:\n%s%s", prog, sc.name,
-              sc.synopsis, sc.description, sc.options, kCommonOptions);
+              sc.synopsis, sc.description, sc.options,
+              CommonOptions().c_str());
 }
 
 }  // namespace
@@ -498,6 +520,24 @@ int main(int argc, char** argv) {
       g.alg = arg + 6;
       continue;
     }
+    if (std::strcmp(arg, "--page-codec") == 0 && i + 1 < argc) {
+      g.page_codec_name = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--page-codec=", 13) == 0) {
+      g.page_codec_name = arg + 13;
+      continue;
+    }
+    if (std::strcmp(arg, "--simd") == 0 && i + 1 < argc) {
+      const char* v = argv[++i];
+      g.simd = (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) ? 0 : 1;
+      continue;
+    }
+    if (std::strncmp(arg, "--simd=", 7) == 0) {
+      const char* v = arg + 7;
+      g.simd = (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) ? 0 : 1;
+      continue;
+    }
     if (std::strncmp(arg, "--", 2) == 0) {
       return Usage("unknown flag");
     }
@@ -508,9 +548,26 @@ int main(int argc, char** argv) {
     PrintGlobalUsage(argv[0], g.help ? stdout : stderr);
     return g.help ? 0 : 2;
   }
-  if (g.backend != "file" && g.backend != "mem" &&
-      g.backend != "async-file" && g.backend != "async-mem") {
-    return Usage("--backend must be file, mem, async-file or async-mem");
+  // One vocabulary for the storage knobs: the factory validates, so the
+  // CLI, the daemon and MakeIoBackend agree on names and error text.
+  if (Status st = ValidateIoBackendKind(g.backend); !st.ok()) {
+    std::string msg = st.ToString();
+    return Usage(msg.c_str());
+  }
+  if (!g.page_codec_name.empty()) {
+    auto parsed = ParsePageCodecKind(g.page_codec_name);
+    if (!parsed.ok()) {
+      std::string msg = parsed.status().ToString();
+      return Usage(msg.c_str());
+    }
+    g.page_codec = *parsed;
+  }
+  if (g.alg != "auto") {
+    auto parsed = AlgorithmFromName(g.alg);
+    if (!parsed.ok()) {
+      std::string msg = parsed.status().ToString();
+      return Usage(msg.c_str());
+    }
   }
 
   for (const Subcommand& sc : kSubcommands) {
