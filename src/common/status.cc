@@ -30,6 +30,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kSlackExhausted:
       return "SlackExhausted";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
   }
   return "Unknown";
 }

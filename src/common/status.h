@@ -27,6 +27,9 @@ enum class StatusCode {
   kCancelled,       // cooperative cancellation (a sibling partition failed)
   kSlackExhausted,  // dynamic insert found no free code slot under the
                     // parent — the caller must re-binarize with more slack
+  kUnimplemented,   // the operation is meaningful but not built yet
+                    // (e.g. mutating a segmented store); callers can
+                    // branch on it instead of pattern-matching messages
 };
 
 /// \brief Lightweight status object carrying an error code and message.
@@ -72,11 +75,17 @@ class Status {
   static Status SlackExhausted(std::string msg) {
     return Status(StatusCode::kSlackExhausted, std::move(msg));
   }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsSlackExhausted() const {
     return code_ == StatusCode::kSlackExhausted;
+  }
+  bool IsUnimplemented() const {
+    return code_ == StatusCode::kUnimplemented;
   }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

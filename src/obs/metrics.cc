@@ -45,6 +45,9 @@ const char* CounterName(Counter c) {
     case Counter::kBufPrefetchHits: return "buf_prefetch_hits";
     case Counter::kBufPrefetchUnused: return "buf_prefetch_unused";
     case Counter::kBufWriteBehind: return "buf_write_behind";
+    case Counter::kServeCacheHits: return "serve_cache_hits";
+    case Counter::kServeCacheMisses: return "serve_cache_misses";
+    case Counter::kServeCacheEvictions: return "serve_cache_evictions";
   }
   return "unknown_counter";
 }
@@ -54,6 +57,7 @@ const char* GaugeName(Gauge g) {
     case Gauge::kPoolQueueDepth: return "pool_queue_depth_max";
     case Gauge::kJoinRecursionDepth: return "join_recursion_depth_max";
     case Gauge::kServeQueueDepth: return "serve_queue_depth_max";
+    case Gauge::kServeCacheBytes: return "serve_cache_bytes_max";
   }
   return "unknown_gauge";
 }

@@ -79,18 +79,24 @@ enum class Counter : uint32_t {
   kBufPrefetchHits,    // fetches served by a completed prefetch
   kBufPrefetchUnused,  // prefetched frames dropped before consumption
   kBufWriteBehind,     // dirty pages handed to the background flusher
+
+  // Serve-layer result cache (see serve/result_cache.h).
+  kServeCacheHits,       // joins answered from a cached result
+  kServeCacheMisses,     // joins that had to execute (cache on, no entry)
+  kServeCacheEvictions,  // entries evicted by the byte budget
 };
 inline constexpr size_t kNumCounters =
-    static_cast<size_t>(Counter::kBufWriteBehind) + 1;
+    static_cast<size_t>(Counter::kServeCacheEvictions) + 1;
 
 /// High-water marks, merged by max across shards and over time.
 enum class Gauge : uint32_t {
   kPoolQueueDepth = 0,
   kJoinRecursionDepth,
   kServeQueueDepth,  // admission-queue high-water mark
+  kServeCacheBytes,  // result-cache resident-byte high-water mark
 };
 inline constexpr size_t kNumGauges =
-    static_cast<size_t>(Gauge::kServeQueueDepth) + 1;
+    static_cast<size_t>(Gauge::kServeCacheBytes) + 1;
 
 /// Phases an ObsSpan can be scoped to. Totals sum across workers (a
 /// CPU-time-like aggregate), max is the longest single span (the

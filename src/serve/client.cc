@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -135,6 +136,70 @@ StatusOr<JoinSummary> Client::Join(const std::string& a, const std::string& d,
         return Status::Corruption("unexpected text frame in join stream");
     }
   }
+}
+
+StatusOr<Client::UpdateResult> Client::UpdateRequest(Request req) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  PBITREE_RETURN_IF_ERROR(WriteRequestFrame(fd_, req));
+  FrameType type{};
+  std::string payload;
+  PBITREE_RETURN_IF_ERROR(ReadFrame(fd_, &type, &payload));
+  if (type == FrameType::kError) return DecodeError(payload);
+  if (type != FrameType::kText) {
+    return Status::Corruption("unexpected frame type in update reply");
+  }
+  // Reply shape: "ok epoch=<N>[ code=<C>]".
+  UpdateResult out;
+  bool saw_epoch = false;
+  size_t pos = payload.find(' ');
+  if (payload.compare(0, 2, "ok") != 0) {
+    return Status::Corruption("bad update reply: " + payload);
+  }
+  while (pos != std::string::npos) {
+    size_t end = payload.find(' ', pos + 1);
+    std::string tok = payload.substr(
+        pos + 1, end == std::string::npos ? std::string::npos : end - pos - 1);
+    if (tok.compare(0, 6, "epoch=") == 0) {
+      out.epoch = std::strtoull(tok.c_str() + 6, nullptr, 10);
+      saw_epoch = true;
+    } else if (tok.compare(0, 5, "code=") == 0) {
+      out.code = std::strtoull(tok.c_str() + 5, nullptr, 10);
+    }
+    pos = end;
+  }
+  if (!saw_epoch) return Status::Corruption("bad update reply: " + payload);
+  return out;
+}
+
+StatusOr<Client::UpdateResult> Client::InsertChild(const std::string& name,
+                                                   Code parent, uint32_t tag,
+                                                   uint32_t doc) {
+  Request req;
+  req.op = "update";
+  req.params["set"] = name;
+  req.params["action"] = "insert";
+  req.params["parent"] = std::to_string(parent);
+  req.params["tag"] = std::to_string(tag);
+  req.params["doc"] = std::to_string(doc);
+  return UpdateRequest(std::move(req));
+}
+
+StatusOr<Client::UpdateResult> Client::DeleteElement(const std::string& name,
+                                                     Code code) {
+  Request req;
+  req.op = "update";
+  req.params["set"] = name;
+  req.params["action"] = "delete";
+  req.params["code"] = std::to_string(code);
+  return UpdateRequest(std::move(req));
+}
+
+StatusOr<uint64_t> Client::Epoch() {
+  PBITREE_ASSIGN_OR_RETURN(std::string reply, TextRequest("epoch"));
+  if (reply.compare(0, 6, "epoch=") != 0) {
+    return Status::Corruption("bad epoch reply: " + reply);
+  }
+  return static_cast<uint64_t>(std::strtoull(reply.c_str() + 6, nullptr, 10));
 }
 
 }  // namespace serve

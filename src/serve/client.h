@@ -56,6 +56,26 @@ class Client {
   StatusOr<JoinSummary> Join(const std::string& a, const std::string& d,
                              const std::string& alg, ResultSink* sink);
 
+  /// Outcome of a committed `update` request.
+  struct UpdateResult {
+    uint64_t epoch = 0;  ///< epoch the commit produced
+    Code code = 0;       ///< code the inserted element received (inserts)
+  };
+
+  /// Inserts a new child of `parent` into set `name` on the server
+  /// (code allocated there; re-binarization fallback included) and
+  /// commits. Requires a server with an attached mutable store —
+  /// read-only and segmented servers answer with the typed
+  /// Unimplemented condition.
+  StatusOr<UpdateResult> InsertChild(const std::string& name, Code parent,
+                                     uint32_t tag, uint32_t doc);
+
+  /// Deletes the element with `code` from set `name` and commits.
+  StatusOr<UpdateResult> DeleteElement(const std::string& name, Code code);
+
+  /// The server's current snapshot epoch (0 on a read-only server).
+  StatusOr<uint64_t> Epoch();
+
   /// The raw socket, for tests that need to misbehave (e.g. disconnect
   /// mid-stream).
   int fd() const { return fd_; }
@@ -63,6 +83,10 @@ class Client {
  private:
   /// Sends a parameter-less request and expects a single kText reply.
   StatusOr<std::string> TextRequest(const std::string& op);
+
+  /// Ships a prepared `update` request and parses the "ok epoch=N
+  /// [code=C]" reply.
+  StatusOr<UpdateResult> UpdateRequest(Request req);
 
   int fd_ = -1;
 };

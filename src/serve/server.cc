@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "join/algorithm_registry.h"
 #include "serve/socket_sink.h"
 #include "storage/disk_manager.h"
+#include "storage/element_store.h"
 
 namespace pbitree {
 namespace serve {
@@ -25,6 +27,16 @@ void CloseIfOpen(int* fd) {
     ::close(*fd);
     *fd = -1;
   }
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -49,6 +61,7 @@ ServeConfig ServeConfig::FromEnv() {
       3 * static_cast<int64_t>(cfg.max_concurrent), 1 << 24));
   cfg.threads = static_cast<size_t>(EnvInt64Checked(
       "PBITREE_SERVE_THREADS", static_cast<int64_t>(cfg.threads), 1, 1024));
+  cfg.cache = ResultCacheConfig::FromEnv();
   return cfg;
 }
 
@@ -56,6 +69,7 @@ Server::Server(BufferManager* bm, Catalog catalog, ServeConfig cfg)
     : bm_(bm),
       catalog_(std::move(catalog)),
       cfg_(cfg),
+      cache_(cfg.cache),
       admission_(cfg.max_concurrent, cfg.queue_depth) {}
 
 Server::Server(SegmentStore* store, ServeConfig cfg)
@@ -85,6 +99,10 @@ Status Server::Start() {
       seg_sets_.emplace(name, std::move(set));
       continue;
     }
+    // An attached element store already warmed live handles for every
+    // unsegmented set; joins read those (under a ReadPin) so they see
+    // committed mutations — a second warm copy here would go stale.
+    if (estore_ != nullptr && !catalog_.IsSegmented(name)) continue;
     PBITREE_ASSIGN_OR_RETURN(ElementSet set, catalog_.Get(bm_, name));
     sets_.emplace(name, set);
   }
@@ -265,6 +283,17 @@ Status Server::HandleRequest(int fd, const Request& req) {
   if (req.op == "ping") return WriteFrame(fd, FrameType::kText, "pong");
   if (req.op == "list") {
     std::string out;
+    if (estore_ != nullptr) {
+      auto pin = estore_->PinForRead();
+      for (const std::string& name : estore_->SetNames()) {
+        StatusOr<const ElementSet*> set = estore_->GetSet(name);
+        if (!set.ok()) continue;
+        out += name;
+        out += ' ';
+        out += std::to_string((*set)->num_records());
+        out += '\n';
+      }
+    }
     for (const auto& [name, set] : sets_) {
       out += name;
       out += ' ';
@@ -282,7 +311,12 @@ Status Server::HandleRequest(int fd, const Request& req) {
   if (req.op == "metrics") {
     return WriteFrame(fd, FrameType::kText, registry_.Snapshot().ToJson());
   }
+  if (req.op == "epoch") {
+    const uint64_t e = estore_ != nullptr ? estore_->epoch() : 0;
+    return WriteFrame(fd, FrameType::kText, "epoch=" + std::to_string(e));
+  }
   if (req.op == "join") return HandleJoin(fd, req);
+  if (req.op == "update") return HandleUpdate(fd, req);
   return WriteFrame(
       fd, FrameType::kError,
       EncodeError(Status::InvalidArgument("unknown op '" + req.op + "'")));
@@ -296,9 +330,21 @@ Status Server::HandleJoin(int fd, const Request& req) {
                       EncodeError(Status::InvalidArgument(
                           "join requires a=<tag> and d=<tag>")));
   }
+  // With a mutable store attached the query pins a snapshot: the shared
+  // lock keeps mutation batches out for the query's whole execution and
+  // the pinned epoch keys the result cache.
+  std::optional<ElementSetStore::ReadPin> pin;
+  if (estore_ != nullptr) pin.emplace(estore_->PinForRead());
+  const uint64_t epoch = pin ? pin->epoch() : 0;
+
   auto find_set = [&](const std::string& tag) -> const ElementSet* {
     auto it = sets_.find(tag);
-    return it == sets_.end() ? nullptr : &it->second;
+    if (it != sets_.end()) return &it->second;
+    if (estore_ != nullptr) {
+      StatusOr<const ElementSet*> live = estore_->GetSet(tag);
+      if (live.ok()) return *live;
+    }
+    return nullptr;
   };
   auto find_seg = [&](const std::string& tag) -> const SegmentedSet* {
     auto it = seg_sets_.find(tag);
@@ -350,6 +396,27 @@ Status Server::HandleJoin(int fd, const Request& req) {
 
   // Queue wait counts toward the client-observed query latency.
   obs::LatencyTimer query_timer(obs::Latency::kServeQuery);
+
+  // Result cache: a hit replays the stored pairs through a fresh
+  // SocketSink, whose chunking depends only on the pair sequence — the
+  // reply is byte-identical to the uncached one at the same epoch. A
+  // per-query simd override is a measurement knob, so those queries
+  // bypass the cache entirely (neither served from nor inserted).
+  ResultCache::Key cache_key{a_it->second, d_it->second, alg_name, epoch};
+  const bool use_cache = cache_.enabled() && !simd.has_value();
+  if (use_cache) {
+    if (std::shared_ptr<const ResultCache::Entry> hit =
+            cache_.Lookup(cache_key)) {
+      obs::Count(obs::Counter::kServeQueries);
+      SocketSink sink(fd);
+      PBITREE_RETURN_IF_ERROR(sink.OnBatch(hit->pairs));
+      PBITREE_RETURN_IF_ERROR(sink.Flush());
+      query_timer.Finish();
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      return WriteFrame(fd, FrameType::kDone, EncodeDone(hit->summary));
+    }
+  }
+
   AdmissionSlot slot(&admission_);
   if (!slot.ok()) {
     return WriteFrame(fd, FrameType::kError, EncodeError(slot.status()));
@@ -361,21 +428,25 @@ Status Server::HandleJoin(int fd, const Request& req) {
   options.shared_exec = exec_.get();
   options.flush_pool = false;  // phase op; see RunOptions::flush_pool
   options.simd = simd;
-  SocketSink sink(fd);
+  SocketSink socket_sink(fd);
+  CachingSink caching_sink(&socket_sink,
+                           use_cache ? cache_.max_bytes() : 0);
+  ResultSink* sink = use_cache ? static_cast<ResultSink*>(&caching_sink)
+                               : &socket_sink;
   StatusOr<RunResult> run =
       segmented
-          ? (is_auto ? RunSegmentedAuto(bm_, *seg_a, *seg_d, &sink, options)
-                     : RunSegmentedJoin(alg, bm_, *seg_a, *seg_d, &sink,
+          ? (is_auto ? RunSegmentedAuto(bm_, *seg_a, *seg_d, sink, options)
+                     : RunSegmentedJoin(alg, bm_, *seg_a, *seg_d, sink,
                                         options))
-          : (is_auto ? RunAuto(bm_, *a, *d, &sink, options)
-                     : RunJoin(alg, bm_, *a, *d, &sink, options));
+          : (is_auto ? RunAuto(bm_, *a, *d, sink, options)
+                     : RunJoin(alg, bm_, *a, *d, sink, options));
   if (!run.ok()) {
     // If the sink died the socket is gone — fail the connection; any
     // other failure is reported to the (still healthy) client.
-    if (!sink.status().ok()) return sink.status();
+    if (!socket_sink.status().ok()) return socket_sink.status();
     return WriteFrame(fd, FrameType::kError, EncodeError(run.status()));
   }
-  PBITREE_RETURN_IF_ERROR(sink.Flush());
+  PBITREE_RETURN_IF_ERROR(socket_sink.Flush());
   query_timer.Finish();
   queries_served_.fetch_add(1, std::memory_order_relaxed);
 
@@ -385,7 +456,82 @@ Status Server::HandleJoin(int fd, const Request& req) {
   summary.page_writes = run->page_writes;
   summary.wall_seconds = run->wall_seconds;
   summary.algorithm = AlgorithmName(run->algorithm);
+  if (use_cache && caching_sink.cacheable()) {
+    auto entry = std::make_shared<ResultCache::Entry>();
+    entry->pairs = caching_sink.TakePairs();
+    entry->summary = summary;
+    cache_.Insert(cache_key, std::move(entry));
+  }
   return WriteFrame(fd, FrameType::kDone, EncodeDone(summary));
+}
+
+Status Server::HandleUpdate(int fd, const Request& req) {
+  auto reply_error = [&](const Status& st) {
+    return WriteFrame(fd, FrameType::kError, EncodeError(st));
+  };
+  if (estore_ == nullptr) {
+    // Typed refusal, never a silently corrupted database: a segmented
+    // server has no mutable store to attach (see segment_store.h).
+    return reply_error(Status::Unimplemented(
+        store_ != nullptr
+            ? "live updates of a segmented database are not supported; "
+              "mutate an unsegmented database (or rebuild the segments "
+              "offline)"
+            : "this server is read-only (no mutable element store "
+              "attached)"));
+  }
+  auto set_it = req.params.find("set");
+  auto action_it = req.params.find("action");
+  if (set_it == req.params.end() || action_it == req.params.end()) {
+    return reply_error(Status::InvalidArgument(
+        "update requires set=<name> and action=insert|delete"));
+  }
+  auto param_u64 = [&](const char* name, uint64_t* out) -> Status {
+    auto it = req.params.find(name);
+    if (it == req.params.end() || !ParseU64(it->second, out)) {
+      return Status::InvalidArgument(std::string("update needs numeric ") +
+                                     name + "=<u64>");
+    }
+    return Status::OK();
+  };
+
+  // Each update request is its own batch: mutate, then commit (or roll
+  // back so the writer lock is released and the old state stands).
+  const std::string& action = action_it->second;
+  Status st;
+  Code new_code = kInvalidCode;
+  if (action == "insert") {
+    uint64_t parent = 0, tag = 0, doc = 0;
+    st = param_u64("parent", &parent);
+    if (st.ok()) st = param_u64("tag", &tag);
+    if (st.ok()) st = param_u64("doc", &doc);
+    if (!st.ok()) return reply_error(st);
+    StatusOr<Code> code =
+        estore_->InsertChild(set_it->second, parent,
+                             static_cast<uint32_t>(tag),
+                             static_cast<uint32_t>(doc));
+    st = code.ok() ? Status::OK() : code.status();
+    if (code.ok()) new_code = *code;
+  } else if (action == "delete") {
+    uint64_t code = 0;
+    st = param_u64("code", &code);
+    if (!st.ok()) return reply_error(st);
+    st = estore_->DeleteElement(set_it->second, code);
+  } else {
+    return reply_error(Status::InvalidArgument(
+        "unknown update action '" + action + "' (want insert|delete)"));
+  }
+  if (st.ok()) st = estore_->Commit();
+  if (!st.ok()) {
+    (void)estore_->Rollback();  // owner-checked; no-op if never opened
+    return reply_error(st);
+  }
+  // Committed: every pre-bump cached result is stale by key; reclaim
+  // its bytes now instead of waiting for LRU pressure.
+  cache_.EvictStaleEpochs(estore_->epoch());
+  std::string ok = "ok epoch=" + std::to_string(estore_->epoch());
+  if (action == "insert") ok += " code=" + std::to_string(new_code);
+  return WriteFrame(fd, FrameType::kText, ok);
 }
 
 }  // namespace serve

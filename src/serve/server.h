@@ -18,11 +18,15 @@
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
+#include "serve/result_cache.h"
 #include "storage/buffer_manager.h"
 #include "storage/catalog.h"
 #include "storage/segment_store.h"
 
 namespace pbitree {
+
+class ElementSetStore;
+
 namespace serve {
 
 /// \brief Configuration of the query service daemon. Every knob has an
@@ -49,9 +53,12 @@ struct ServeConfig {
   /// the queries themselves still run concurrently on their
   /// connection threads.
   size_t threads = 1;
+  /// Epoch-keyed query-result cache (see serve/result_cache.h).
+  ResultCacheConfig cache;
 
   /// Reads PBITREE_SERVE_PORT / _MAX_CLIENTS / _MAX_CONCURRENT /
-  /// _QUEUE_DEPTH / _WORK_PAGES / _THREADS via EnvInt64Checked.
+  /// _QUEUE_DEPTH / _WORK_PAGES / _THREADS via EnvInt64Checked, plus
+  /// the result-cache knobs via ResultCacheConfig::FromEnv.
   static ServeConfig FromEnv();
 };
 
@@ -89,6 +96,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  /// Serves a mutable database: joins read their element sets through
+  /// `store` under a ReadPin (so every query is attributable to one
+  /// snapshot epoch, the result-cache key), and the `update` / `epoch`
+  /// wire ops come alive. Call before Start(); the caller keeps
+  /// ownership and must outlive the server. Without an attached store
+  /// the database is static and every query runs at epoch 0.
+  void AttachElementStore(ElementSetStore* store) { estore_ = store; }
+
   /// Preloads the catalogued sets, binds and starts accepting.
   Status Start();
 
@@ -115,6 +130,9 @@ class Server {
     return queries_served_.load(std::memory_order_relaxed);
   }
 
+  /// The query-result cache (tests inspect bytes/entries).
+  ResultCache* result_cache() { return &cache_; }
+
   /// Budget slice each admitted query runs on.
   size_t PerQueryWorkPages() const;
 
@@ -132,6 +150,7 @@ class Server {
   /// problems are answered with kError frames and return OK.
   Status HandleRequest(int fd, const Request& req);
   Status HandleJoin(int fd, const Request& req);
+  Status HandleUpdate(int fd, const Request& req);
 
   /// Joins finished connection threads and closes their sockets.
   /// Pass `all` to block until every connection is done first.
@@ -143,6 +162,9 @@ class Server {
   /// Borrowed segment store (null when constructed from a bare pool +
   /// catalog). Owns the per-segment pools the segmented joins run on.
   SegmentStore* store_ = nullptr;
+  /// Borrowed mutable element store (null for a static database).
+  ElementSetStore* estore_ = nullptr;
+  ResultCache cache_;
 
   obs::MetricRegistry registry_;
   AdmissionController admission_;

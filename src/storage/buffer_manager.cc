@@ -449,6 +449,30 @@ Status BufferManager::PurgeAll() {
   return Status::OK();
 }
 
+void BufferManager::DiscardAll() {
+  std::unique_lock<std::mutex> lk(latch_);
+  // Let in-flight transfers land first: their worker jobs hold raw
+  // frame pointers, so the frames must not be reset under them. The
+  // writes they complete count as "reached the device before the
+  // crash" — a subset of writes landing is exactly the scenario this
+  // simulates.
+  auto quiescent = [&] {
+    if (!writebacks_.empty()) return false;
+    for (const auto& frame : frames_) {
+      if (frame->io_pending_) return false;
+    }
+    return true;
+  };
+  while (!quiescent()) io_cv_.wait(lk);
+  for (auto& frame : frames_) frame->Reset();
+  page_table_.clear();
+  prefetched_.clear();
+  prefetch_errors_.clear();
+  write_errors_.clear();
+  pinned_count_ = 0;
+  clock_hand_ = 0;
+}
+
 PrefetchResult BufferManager::StartPrefetch(PageId page_id) {
   std::unique_lock<std::mutex> lk(latch_);
   IoWorkerPool* pool = pool_.get();

@@ -155,6 +155,15 @@ class BufferManager {
   /// disk. The page must not be pinned.
   Status DeletePage(PageId page_id);
 
+  /// Crash simulation (tests only): waits out in-flight async I/O, then
+  /// drops every frame — pinned or not, dirty or not — with NO
+  /// write-back, exactly as if the process had died with the pool's
+  /// state lost. Whatever the backend already holds is what a reopened
+  /// store will see. The pool is empty (and all pins void) afterwards;
+  /// any Page* previously handed out is invalid. Production code never
+  /// calls this.
+  void DiscardAll();
+
   size_t pool_pages() const { return frames_.size(); }
   DiskManager* disk() const { return disk_; }
 

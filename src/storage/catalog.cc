@@ -2,14 +2,17 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "obs/metrics.h"
 
 namespace pbitree {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x5042495452454531ULL;  // "PBITREE1"
-constexpr size_t kHeaderBytes = 24;
+// Where the entry array starts: byte 24 in version-1 files, byte 48
+// (after epoch/log/CRC) in version-2 files. 48 + 42*96 = 4080 <= 4096.
+constexpr size_t kHeaderBytesV1 = 24;
+constexpr size_t kHeaderBytesV2 = 48;
 constexpr size_t kEntryBytes = 96;
 
 template <typename T>
@@ -25,6 +28,15 @@ T GetAt(const char* base, size_t off) {
 
 }  // namespace
 
+bool Catalog::HeaderCrcValid(const char* page) {
+  if (GetAt<uint64_t>(page, 0) != kMagic) return false;
+  if (GetAt<uint32_t>(page, kVersionOffset) < 2) return false;
+  char copy[kPageSize];
+  std::memcpy(copy, page, kPageSize);
+  PutAt<uint32_t>(copy, kCrcOffset, 0);
+  return Crc32c(copy, kPageSize) == GetAt<uint32_t>(page, kCrcOffset);
+}
+
 StatusOr<Catalog> Catalog::Load(BufferManager* bm) {
   // Counted so a serving process can prove it loads the catalog once
   // and answers every query from the warm copy (see serve/server.h).
@@ -37,18 +49,33 @@ StatusOr<Catalog> Catalog::Load(BufferManager* bm) {
     PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
     return cat;  // fresh or foreign database: empty catalog
   }
+  uint32_t version = GetAt<uint32_t>(data, kVersionOffset);
   uint32_t count = GetAt<uint32_t>(data, 12);
   uint32_t frontier = GetAt<uint32_t>(data, 16);
   // Offset 20 was zero padding before code-space sharding, so every
   // pre-sharding database reads back as segment level 0 (unsegmented).
   cat.segment_level_ = GetAt<uint32_t>(data, 20);
+  size_t header_bytes = kHeaderBytesV1;
+  if (version >= 2) {
+    header_bytes = kHeaderBytesV2;
+    // A mutable database recovers torn header writes from its commit
+    // log before Load runs (ElementSetStore::Recover); a CRC mismatch
+    // here means there was no log to replay — refuse to guess.
+    if (!HeaderCrcValid(data)) {
+      PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
+      return Status::Corruption("catalog header checksum mismatch");
+    }
+    cat.epoch_ = GetAt<uint64_t>(data, kEpochOffset);
+    cat.log_first_page_ = GetAt<PageId>(data, kLogFirstOffset);
+    cat.log_page_count_ = GetAt<uint32_t>(data, kLogCountOffset);
+  }
   bm->disk()->SetFrontier(frontier);
   if (count > kMaxEntries) {
     PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, false));
     return Status::Corruption("catalog entry count out of range");
   }
   for (uint32_t i = 0; i < count; ++i) {
-    const char* at = data + kHeaderBytes + i * kEntryBytes;
+    const char* at = data + header_bytes + i * kEntryBytes;
     char name_buf[kMaxNameLen + 1];
     std::memcpy(name_buf, at, kMaxNameLen + 1);
     name_buf[kMaxNameLen] = '\0';
@@ -67,19 +94,19 @@ StatusOr<Catalog> Catalog::Load(BufferManager* bm) {
   return cat;
 }
 
-Status Catalog::Save(BufferManager* bm) {
-  // Flush data pages first so the catalog never points at unwritten
-  // pages; the header goes through the pool so later Loads in the same
-  // process see it.
-  PBITREE_RETURN_IF_ERROR(bm->FlushAll());
-  char data[kPageSize];
-  std::memset(data, 0, sizeof(data));
-  PutAt<uint64_t>(data, 0, kMagic);
-  PutAt<uint32_t>(data, 8, 1);  // version
-  PutAt<uint32_t>(data, 12, static_cast<uint32_t>(entries_.size()));
+void Catalog::RenderHeader(char* page, PageId frontier) const {
+  std::memset(page, 0, kPageSize);
+  PutAt<uint64_t>(page, 0, kMagic);
+  PutAt<uint32_t>(page, kVersionOffset, 2);
+  PutAt<uint32_t>(page, 12, static_cast<uint32_t>(entries_.size()));
+  PutAt<uint32_t>(page, 16, frontier);
+  PutAt<uint32_t>(page, 20, segment_level_);
+  PutAt<uint64_t>(page, kEpochOffset, epoch_);
+  PutAt<PageId>(page, kLogFirstOffset, log_first_page_);
+  PutAt<uint32_t>(page, kLogCountOffset, log_page_count_);
   size_t i = 0;
   for (const auto& [name, e] : entries_) {
-    char* at = data + kHeaderBytes + i * kEntryBytes;
+    char* at = page + kHeaderBytesV2 + i * kEntryBytes;
     std::memcpy(at, name.c_str(), name.size());
     PutAt<PageId>(at, 32, e.first_page);
     PutAt<uint64_t>(at, 40, e.num_records);
@@ -91,8 +118,17 @@ Status Catalog::Save(BufferManager* bm) {
     PutAt<uint64_t>(at, 80, e.max_end);
     ++i;
   }
-  PutAt<uint32_t>(data, 16, bm->disk()->frontier());
-  PutAt<uint32_t>(data, 20, segment_level_);
+  // CRC last, over the page with the CRC field itself zeroed.
+  PutAt<uint32_t>(page, kCrcOffset, Crc32c(page, kPageSize));
+}
+
+Status Catalog::Save(BufferManager* bm) {
+  // Flush data pages first so the catalog never points at unwritten
+  // pages; the header goes through the pool so later Loads in the same
+  // process see it.
+  PBITREE_RETURN_IF_ERROR(bm->FlushAll());
+  char data[kPageSize];
+  RenderHeader(data, bm->disk()->frontier());
   PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(0));
   std::memcpy(p->data(), data, kPageSize);
   PBITREE_RETURN_IF_ERROR(bm->UnpinPage(0, /*dirty=*/true));

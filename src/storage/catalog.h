@@ -31,10 +31,37 @@ namespace pbitree {
 /// one *master* entry per set (flags bit 1, no heap pages of its own,
 /// aggregate metadata over all segments) while each of the 2^l segment
 /// files keeps an ordinary per-segment catalog of its local pieces.
+/// Header layout, version 2 (version 1 files — entries at byte 24, no
+/// epoch/log/CRC — still load):
+///   0  u64 magic "PBITREE1"      8  u32 version (2)
+///   12 u32 entry count           16 u32 allocation frontier
+///   20 u32 segment_level         24 u64 snapshot epoch
+///   32 u32 log_first_page        36 u32 log_page_count
+///   40 u32 header CRC32C (computed over the page with this field 0)
+///   48 entries, 96 bytes each.
+/// Every recovery-critical scalar sits in the first half of the page,
+/// which the torn-write fault model leaves intact; the CRC catches the
+/// torn second half (and any other partial header write).
 class Catalog {
  public:
   static constexpr size_t kMaxEntries = 42;
   static constexpr size_t kMaxNameLen = 31;
+
+  /// v2 header field offsets, shared with the element store's raw-disk
+  /// recovery (which parses page 0 without a Catalog instance).
+  static constexpr size_t kVersionOffset = 8;
+  static constexpr size_t kEpochOffset = 24;
+  static constexpr size_t kLogFirstOffset = 32;
+  static constexpr size_t kLogCountOffset = 36;
+  static constexpr size_t kCrcOffset = 40;
+
+  /// The magic every header page starts with.
+  static constexpr uint64_t kMagic = 0x5042495452454531ULL;  // "PBITREE1"
+
+  /// True when `page` (kPageSize bytes of raw page 0) carries a v2
+  /// header whose CRC matches its contents. v1 headers (no CRC) and
+  /// foreign pages return false.
+  static bool HeaderCrcValid(const char* page);
 
   /// Entry flag bits.
   static constexpr uint32_t kFlagSorted = 1u;       // sorted_by_start
@@ -98,6 +125,26 @@ class Catalog {
   int segment_level() const { return static_cast<int>(segment_level_); }
   void set_segment_level(int l) { segment_level_ = static_cast<uint32_t>(l); }
 
+  /// Snapshot epoch: bumped once per committed mutation batch (see
+  /// storage/element_store.h). Build-once databases stay at 0.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t e) { epoch_ = e; }
+
+  /// Physical-redo recovery log of the most recent commit: first page of
+  /// the log chain and its page count. kInvalidPageId/0 = no log.
+  PageId log_first_page() const { return log_first_page_; }
+  uint32_t log_page_count() const { return log_page_count_; }
+  void set_log(PageId first, uint32_t count) {
+    log_first_page_ = first;
+    log_page_count_ = count;
+  }
+
+  /// Renders the v2 header page image (kPageSize bytes, CRC stamped)
+  /// without touching storage — what Save writes through the pool and
+  /// what the element store embeds in its commit log so recovery can
+  /// redo the header byte-for-byte.
+  void RenderHeader(char* page, PageId frontier) const;
+
   /// Removes an entry (the set's pages are not freed; drop them first
   /// if the data itself should go).
   Status Remove(const std::string& name);
@@ -122,6 +169,9 @@ class Catalog {
 
   std::map<std::string, Entry> entries_;
   uint32_t segment_level_ = 0;
+  uint64_t epoch_ = 0;
+  PageId log_first_page_ = kInvalidPageId;
+  uint32_t log_page_count_ = 0;
 };
 
 }  // namespace pbitree

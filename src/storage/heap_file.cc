@@ -82,6 +82,106 @@ Status HeapFile::Concat(BufferManager* bm, HeapFile* tail) {
   return Status::OK();
 }
 
+Status HeapFile::ReadPageRecords(BufferManager* bm, size_t page_index,
+                                 std::vector<ElementRecord>* out) const {
+  if (page_index >= pages_.size()) {
+    return Status::InvalidArgument("ReadPageRecords: page index out of range");
+  }
+  const PageId pid = pages_[page_index];
+  PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(pid));
+  const uint16_t count = GetCount(p);
+  out->resize(count);
+  Status st;
+  if (count > 0) {
+    if (codec_ == PageCodecKind::kRaw) {
+      std::memcpy(out->data(), RecordAt(p, 0), count * kRecordSize);
+    } else {
+      st = GetPageCodec(codec_)->Decode(p->data() + kHeaderSize, count,
+                                        out->data());
+    }
+  }
+  Status ust = bm->UnpinPage(pid, false);
+  return st.ok() ? ust : st;
+}
+
+Status HeapFile::RemoveRecordAt(BufferManager* bm, size_t page_index,
+                                size_t slot) {
+  if (page_index >= pages_.size()) {
+    return Status::InvalidArgument("RemoveRecordAt: page index out of range");
+  }
+  const PageId pid = pages_[page_index];
+  PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(pid));
+  const uint16_t count = GetCount(p);
+  if (slot >= count) {
+    Status ust = bm->UnpinPage(pid, false);
+    (void)ust;
+    return Status::InvalidArgument("RemoveRecordAt: slot out of range");
+  }
+  if (codec_ == PageCodecKind::kRaw) {
+    std::memmove(RecordAt(p, slot), RecordAt(p, slot + 1),
+                 (count - 1 - slot) * kRecordSize);
+    // Zero the vacated tail slot so re-encoding equal logical content
+    // stays byte-identical (mirrors the codec Encode contract).
+    std::memset(RecordAt(p, count - 1), 0, kRecordSize);
+  } else {
+    std::vector<ElementRecord> recs(count);
+    const PageCodec* codec = GetPageCodec(codec_);
+    Status st = codec->Decode(p->data() + kHeaderSize, count, recs.data());
+    if (st.ok()) {
+      recs.erase(recs.begin() + static_cast<ptrdiff_t>(slot));
+      // A page that held `count` records always holds `count - 1` of the
+      // same records (both delta and raw16 sizes are monotone in the
+      // record list), so this encode cannot fail for size reasons.
+      st = codec->Encode(recs, p->data() + kHeaderSize);
+    }
+    if (!st.ok()) {
+      Status ust = bm->UnpinPage(pid, false);
+      (void)ust;
+      return st;
+    }
+  }
+  SetCount(p, static_cast<uint16_t>(count - 1));
+  --num_records_;
+  return bm->UnpinPage(pid, /*dirty=*/true);
+}
+
+Status HeapFile::RewriteRecordAt(BufferManager* bm, size_t page_index,
+                                 size_t slot, const ElementRecord& rec) {
+  if (page_index >= pages_.size()) {
+    return Status::InvalidArgument("RewriteRecordAt: page index out of range");
+  }
+  const PageId pid = pages_[page_index];
+  PBITREE_ASSIGN_OR_RETURN(Page * p, bm->FetchPage(pid));
+  const uint16_t count = GetCount(p);
+  if (slot >= count) {
+    Status ust = bm->UnpinPage(pid, false);
+    (void)ust;
+    return Status::InvalidArgument("RewriteRecordAt: slot out of range");
+  }
+  if (codec_ == PageCodecKind::kRaw) {
+    std::memcpy(RecordAt(p, slot), &rec, kRecordSize);
+  } else {
+    std::vector<ElementRecord> recs(count);
+    const PageCodec* codec = GetPageCodec(codec_);
+    Status st = codec->Decode(p->data() + kHeaderSize, count, recs.data());
+    if (st.ok()) {
+      recs[slot] = rec;
+      // Encode into a scratch payload first: a rewrite that no longer
+      // fits (wilder deltas past the raw16 record cap) must leave the
+      // page exactly as it was.
+      char scratch[kCodecPayloadSize];
+      st = codec->Encode(recs, scratch);
+      if (st.ok()) std::memcpy(p->data() + kHeaderSize, scratch, sizeof(scratch));
+    }
+    if (!st.ok()) {
+      Status ust = bm->UnpinPage(pid, false);
+      (void)ust;
+      return st;
+    }
+  }
+  return bm->UnpinPage(pid, /*dirty=*/true);
+}
+
 Status HeapFile::Appender::RetireTail() {
   // The full page is final here: its successor link is set and no later
   // append touches it, so with write-behind on it can start draining to

@@ -64,6 +64,31 @@ class HeapFile {
   /// ||R|| in the paper's notation: number of disk pages.
   uint64_t num_pages() const { return num_pages_; }
 
+  /// Page directory in chain order — the `page_index` coordinate of the
+  /// record-surgery API below (and of mutation-batch page tracking).
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// Decodes every record of page `page_index` into `out` (resized to
+  /// the page's logical count; possibly 0).
+  Status ReadPageRecords(BufferManager* bm, size_t page_index,
+                         std::vector<ElementRecord>* out) const;
+
+  /// Removes the record at (page_index, slot), compacting the page in
+  /// place: later records of that page shift left one slot, the page's
+  /// count drops by one, and an emptied page stays chained (scanners
+  /// skip count-0 pages). The relative scan order of every surviving
+  /// record of the file is unchanged — what the differential update
+  /// tests rely on.
+  Status RemoveRecordAt(BufferManager* bm, size_t page_index, size_t slot);
+
+  /// Overwrites the record at (page_index, slot) in place (used by the
+  /// re-binarization fallback to recode elements without moving them).
+  /// For a non-raw codec the page is re-encoded; if the new record makes
+  /// the page overflow its codec capacity the page is left untouched and
+  /// InvalidArgument is returned (the caller rolls the batch back).
+  Status RewriteRecordAt(BufferManager* bm, size_t page_index, size_t slot,
+                         const ElementRecord& rec);
+
   /// Appends one record. Amortised one page write per kRecordsPerPage
   /// appends. Prefer Appender for bulk loading (keeps the tail pinned).
   Status Append(BufferManager* bm, const void* record);

@@ -4,6 +4,8 @@
 #include <optional>
 #include <utility>
 
+#include "storage/element_store.h"
+
 namespace pbitree {
 
 namespace {
@@ -37,6 +39,10 @@ StatusOr<std::unique_ptr<SegmentStore>> SegmentStore::Open(
       DiskManager::OpenWithBackend(std::move(main_backend),
                                    restore_frontier));
   store->main_.disk.reset(main_disk);
+  // The main file may have been written by a mutable store whose last
+  // commit only reached its log: replay it (raw disk, before the pool
+  // below can cache a stale page). No-op on fresh or log-free files.
+  PBITREE_RETURN_IF_ERROR(ElementSetStore::Recover(main_disk));
   store->main_.bm =
       std::make_unique<BufferManager>(main_disk, opts.pool_pages);
   PBITREE_ASSIGN_OR_RETURN(store->main_.catalog,
@@ -265,6 +271,30 @@ Status SegmentStore::FlushAndSync() {
   }
   PBITREE_RETURN_IF_ERROR(main_.bm->FlushAll());
   return main_.disk->Sync();
+}
+
+namespace {
+
+Status SegmentedMutationUnimplemented(const std::string& name,
+                                      const char* what) {
+  return Status::Unimplemented(
+      std::string("cannot ") + what + " '" + name +
+      "' in a segmented store: live sharded mutation is not implemented "
+      "(mutate an unsegmented database via ElementSetStore, or re-shard "
+      "offline with StoreSet)");
+}
+
+}  // namespace
+
+Status SegmentStore::InsertRecord(const std::string& name,
+                                  const ElementRecord& rec) {
+  (void)rec;
+  return SegmentedMutationUnimplemented(name, "insert into set");
+}
+
+Status SegmentStore::DeleteRecord(const std::string& name, Code code) {
+  (void)code;
+  return SegmentedMutationUnimplemented(name, "delete from set");
 }
 
 }  // namespace pbitree

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "join/segmented_set.h"
+#include "pbitree/code.h"
 #include "storage/buffer_manager.h"
 #include "storage/catalog.h"
 #include "storage/disk_manager.h"
@@ -116,6 +117,18 @@ class SegmentStore {
 
   /// Flushes every pool and syncs every backend (serve-shutdown barrier).
   Status FlushAndSync();
+
+  /// Live mutation of a sharded set is not implemented: an insert can
+  /// land above the sharding cut (forcing replica maintenance in every
+  /// spanned segment) and re-binarization can move codes across the
+  /// segment boundary — routing either through the per-segment files
+  /// without those mechanics would silently corrupt the scatter-gather
+  /// invariants. Both entry points therefore return the *typed*
+  /// kUnimplemented condition unconditionally (tests pin this), and
+  /// callers fall back to the unsegmented path (ElementSetStore) or an
+  /// offline re-shard (StoreSet).
+  Status InsertRecord(const std::string& name, const ElementRecord& rec);
+  Status DeleteRecord(const std::string& name, Code code);
 
  private:
   struct Piece {

@@ -7,11 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "common/random.h"
+#include "framework/runner.h"
+#include "join/element_set.h"
+#include "join/result_sink.h"
 #include "pbitree/binarize.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
 #include "xml/parser.h"
 
 namespace pbitree {
@@ -107,6 +114,96 @@ TEST(AllocateChildCodeTest, RejectsForeignSiblings) {
   // 48 is not under 16.
   auto code = AllocateChildCode(16, {48}, spec);
   EXPECT_EQ(code.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AllocateChildCodeTest, DuplicateSiblingsAreTolerated) {
+  // Sibling lists scanned out of a stored element set can repeat a
+  // code; the allocator must treat {2, 2, 6} exactly like {2, 6}.
+  PBiTreeSpec spec{4};
+  Code parent = spec.RootCode();  // 8, spans [1, 15]
+  std::vector<Code> siblings = {2, 2, 6};
+  auto code = AllocateChildCode(parent, siblings, spec);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_TRUE(IsAncestor(parent, *code));
+  for (Code s : {Code{2}, Code{6}}) {
+    EXPECT_FALSE(IsAncestorOrSelf(s, *code));
+    EXPECT_FALSE(IsAncestor(*code, s));
+  }
+}
+
+TEST(AllocateChildCodeTest, FullyOccupiedParentSpanIsExhausted) {
+  // Parent 4 in a height-3 tree spans {1..7}; siblings 2 and 6 cover
+  // both halves ({1,2,3} and {5,6,7}), leaving no free slot at any
+  // height — the typed SlackExhausted condition, not a bogus code.
+  PBiTreeSpec spec{3};
+  auto code = AllocateChildCode(4, {2, 6}, spec);
+  EXPECT_EQ(code.status().code(), StatusCode::kSlackExhausted);
+  EXPECT_TRUE(code.status().IsSlackExhausted());
+}
+
+TEST(AllocateChildCodeTest, FirstDynamicChildAtMaxTreeHeight) {
+  // The widest representable tree: height 63, root 2^62 at height 62.
+  // The balanced first-child rule must hold without shift overflow.
+  PBiTreeSpec spec{kMaxTreeHeight};
+  Code parent = spec.RootCode();
+  ASSERT_EQ(HeightOf(parent), kMaxTreeHeight - 1);
+  auto code = AllocateChildCode(parent, {}, spec);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_TRUE(IsValidCode(*code, spec));
+  EXPECT_TRUE(IsAncestor(parent, *code));
+  EXPECT_EQ(HeightOf(*code), (HeightOf(parent) - 1) / 2);
+}
+
+TEST(AllocateChildCodeTest, RandomizedInsertThenJoinDifferential) {
+  // Grow a code set purely through the dynamic allocator, then check
+  // that a stored self-join over the grown set matches the brute-force
+  // ancestor relation — allocation never fabricates or loses
+  // containment.
+  Random rng(2026);
+  PBiTreeSpec spec{10};
+  std::vector<Code> codes = {spec.RootCode()};
+  for (int i = 0; i < 150; ++i) {
+    Code parent = codes[rng.Uniform(codes.size())];
+    // Every existing descendant of the parent acts as a sibling
+    // constraint, exactly as ElementSetStore::InsertChild scans them.
+    std::vector<Code> siblings;
+    for (Code c : codes) {
+      if (IsAncestor(parent, c)) siblings.push_back(c);
+    }
+    auto code = AllocateChildCode(parent, siblings, spec);
+    if (!code.ok()) {
+      ASSERT_TRUE(code.status().IsSlackExhausted())
+          << code.status().ToString();
+      continue;  // that subtree is full; pick another parent next round
+    }
+    for (Code c : codes) EXPECT_NE(*code, c);
+    codes.push_back(*code);
+  }
+  ASSERT_GT(codes.size(), 40u);
+
+  std::vector<ResultPair> expected;
+  for (Code a : codes) {
+    for (Code d : codes) {
+      if (IsAncestor(a, d)) expected.push_back(ResultPair{a, d});
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+
+  std::unique_ptr<DiskManager> disk(DiskManager::OpenInMemory());
+  BufferManager bm(disk.get(), 256);
+  auto builder = ElementSetBuilder::Create(&bm, spec);
+  ASSERT_TRUE(builder.ok());
+  uint32_t doc = 1;
+  for (Code c : codes) ASSERT_TRUE(builder->AddCode(c, 0, doc++).ok());
+  ElementSet set = builder->Build();
+
+  VectorSink sink;
+  RunOptions opts;
+  opts.work_pages = 64;
+  auto run = RunAuto(&bm, set, set, &sink, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  sink.Sort();
+  EXPECT_EQ(sink.pairs(), expected);
 }
 
 TEST(InsertElementTest, InsertIntoSlackBinarizedDocument) {

@@ -6,6 +6,10 @@
 //   pbitree_cli list <db>                show the stored element sets
 //   pbitree_cli query <db> '//a//b//c'   evaluate a descendant path by
 //                                        chaining containment joins
+//   pbitree_cli update <db> insert <set> <parent> <tag> <doc>
+//   pbitree_cli update <db> delete <set> <code>
+//                                        mutate a stored set in place
+//                                        (epoch-bumping durable commit)
 //
 // Run `pbitree_cli <command> --help` for per-command options. Global
 // flags: `--backend=file|mem|async-file|async-mem` selects the storage
@@ -45,6 +49,7 @@
 #include "query/twig_query.h"
 #include "serve/client.h"
 #include "storage/catalog.h"
+#include "storage/element_store.h"
 #include "storage/factory.h"
 #include "storage/io_backend.h"
 #include "storage/segment_store.h"
@@ -96,9 +101,18 @@ StatusOr<DiskManager*> OpenDb(const GlobalOptions& g,
                               const std::string& db_path) {
   auto backend = MakeIoBackend(g.backend, db_path);
   PBITREE_RETURN_IF_ERROR(backend.status());
-  return DiskManager::OpenWithBackend(
-      std::move(*backend),
-      /*restore_frontier=*/IsPersistentBackend(g.backend));
+  PBITREE_ASSIGN_OR_RETURN(
+      DiskManager * disk,
+      DiskManager::OpenWithBackend(
+          std::move(*backend),
+          /*restore_frontier=*/IsPersistentBackend(g.backend)));
+  // Replay a mutable database's commit log before anything caches a
+  // page (no-op on fresh or log-free databases).
+  if (Status st = ElementSetStore::Recover(disk); !st.ok()) {
+    delete disk;
+    return st;
+  }
+  return disk;
 }
 
 /// Tags of `tree` ordered most frequent first (the catalog holds 42
@@ -387,6 +401,121 @@ int CmdQuery(const GlobalOptions& g, const std::vector<std::string>& args) {
   return 0;
 }
 
+bool ParseU64Arg(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// `update --server`: route the mutation to a running daemon (which
+/// commits it and invalidates its result cache).
+int CmdUpdateServer(const GlobalOptions& g,
+                    const std::vector<std::string>& args) {
+  auto client = ConnectServer(g);
+  if (!client.ok()) return Fail(client.status());
+  const std::string& action = args[0];
+  if (action == "insert") {
+    if (args.size() < 5) {
+      return Usage("update insert needs <set> <parent> <tag> <doc>");
+    }
+    uint64_t parent = 0, tag = 0, doc = 0;
+    if (!ParseU64Arg(args[2], &parent) || !ParseU64Arg(args[3], &tag) ||
+        !ParseU64Arg(args[4], &doc)) {
+      return Usage("update insert takes numeric <parent> <tag> <doc>");
+    }
+    auto r = (*client)->InsertChild(args[1], parent,
+                                    static_cast<uint32_t>(tag),
+                                    static_cast<uint32_t>(doc));
+    if (!r.ok()) return Fail(r.status());
+    std::printf("inserted code=%llu into '%s' (epoch %llu)\n",
+                static_cast<unsigned long long>(r->code), args[1].c_str(),
+                static_cast<unsigned long long>(r->epoch));
+    return 0;
+  }
+  if (action == "delete") {
+    if (args.size() < 3) return Usage("update delete needs <set> <code>");
+    uint64_t code = 0;
+    if (!ParseU64Arg(args[2], &code)) {
+      return Usage("update delete takes a numeric <code>");
+    }
+    auto r = (*client)->DeleteElement(args[1], code);
+    if (!r.ok()) return Fail(r.status());
+    std::printf("deleted code=%llu from '%s' (epoch %llu)\n",
+                static_cast<unsigned long long>(code), args[1].c_str(),
+                static_cast<unsigned long long>(r->epoch));
+    return 0;
+  }
+  return Usage("update action must be insert or delete");
+}
+
+int CmdUpdate(const GlobalOptions& g, const std::vector<std::string>& args) {
+  if (!g.server.empty()) return CmdUpdateServer(g, args);
+  if (args.size() < 2) {
+    return Usage(
+        "update needs <db> and insert|delete ... (or --server host:port)");
+  }
+  const std::string& db_path = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  // OpenDb replays any pending commit log before the pool comes up.
+  auto opened = OpenDb(g, db_path);
+  if (!opened.ok()) return Fail(opened.status());
+  std::unique_ptr<DiskManager> disk(*opened);
+  BufferManager bm(disk.get(), kPoolPages);
+  auto store = ElementSetStore::Open(&bm);
+  if (!store.ok()) return Fail(store.status());
+
+  const std::string& action = rest[0];
+  if (action == "insert") {
+    if (rest.size() < 5) {
+      return Usage("update insert needs <set> <parent> <tag> <doc>");
+    }
+    uint64_t parent = 0, tag = 0, doc = 0;
+    if (!ParseU64Arg(rest[2], &parent) || !ParseU64Arg(rest[3], &tag) ||
+        !ParseU64Arg(rest[4], &doc)) {
+      return Usage("update insert takes numeric <parent> <tag> <doc>");
+    }
+    auto code = (*store)->InsertChild(rest[1], parent,
+                                      static_cast<uint32_t>(tag),
+                                      static_cast<uint32_t>(doc));
+    if (!code.ok()) {
+      (void)(*store)->Rollback();
+      return Fail(code.status());
+    }
+    if (Status st = (*store)->Commit(); !st.ok()) {
+      (void)(*store)->Rollback();
+      return Fail(st);
+    }
+    std::printf("inserted code=%llu into '%s' (epoch %llu)\n",
+                static_cast<unsigned long long>(*code), rest[1].c_str(),
+                static_cast<unsigned long long>((*store)->epoch()));
+    return 0;
+  }
+  if (action == "delete") {
+    if (rest.size() < 3) return Usage("update delete needs <set> <code>");
+    uint64_t code = 0;
+    if (!ParseU64Arg(rest[2], &code)) {
+      return Usage("update delete takes a numeric <code>");
+    }
+    if (Status st = (*store)->DeleteElement(rest[1], code); !st.ok()) {
+      (void)(*store)->Rollback();
+      return Fail(st);
+    }
+    if (Status st = (*store)->Commit(); !st.ok()) {
+      (void)(*store)->Rollback();
+      return Fail(st);
+    }
+    std::printf("deleted code=%llu from '%s' (epoch %llu)\n",
+                static_cast<unsigned long long>(code), rest[1].c_str(),
+                static_cast<unsigned long long>((*store)->epoch()));
+    return 0;
+  }
+  return Usage("update action must be insert or delete");
+}
+
 /// One row of the subcommand table: dispatch + its own help surface.
 struct Subcommand {
   const char* name;
@@ -434,6 +563,16 @@ const Subcommand kSubcommands[] = {
      "  --alg NAME          server mode: algorithm to request, or auto\n"
      "                      (default auto; names as listed by the registry)\n",
      1, CmdQuery},
+    {"update", "<db> insert|delete <set> ...",
+     "mutate a stored element set in place (durable epoch-bumping commit)",
+     "  insert <set> <parent> <tag> <doc>\n"
+     "                      allocate a free code under <parent> (localized\n"
+     "                      re-binarization when the subtree is full) and\n"
+     "                      append the element\n"
+     "  delete <set> <code> remove the element with <code>\n"
+     "  --server HOST:PORT  apply on a running pbitree_serverd instead\n"
+     "                      (the daemon commits and invalidates its cache)\n",
+     1, CmdUpdate},
 };
 
 void PrintGlobalUsage(const char* prog, std::FILE* out) {

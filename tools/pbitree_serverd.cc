@@ -19,6 +19,8 @@
 //                                 queries                   (default 512)
 //   PBITREE_SERVE_THREADS        shared worker-pool width  (default 1)
 //   PBITREE_SERVE_POOL_PAGES     buffer-pool frames        (default 1024)
+//   PBITREE_RESULT_CACHE         query-result cache on/off (default 1)
+//   PBITREE_RESULT_CACHE_BYTES   result-cache byte budget  (default 64 MiB)
 //   PBITREE_READAHEAD_PAGES      scan readahead window in pages; 0 —
 //                                 the default — is synchronous I/O
 //                                 (picked up by the buffer pool; see
@@ -37,6 +39,7 @@
 
 #include "common/env.h"
 #include "serve/server.h"
+#include "storage/element_store.h"
 #include "storage/segment_store.h"
 
 using namespace pbitree;
@@ -107,6 +110,20 @@ int main(int argc, char** argv) {
   }
 
   serve::Server server(store->get(), cfg);
+
+  // An unsegmented database is served *mutable*: joins pin snapshot
+  // epochs, `update` requests commit durably and the result cache keys
+  // on the epoch. Segmented stores stay read-only (updates answer with
+  // the typed Unimplemented condition). SegmentStore::Open already
+  // replayed any pending commit log before the pool warmed.
+  std::unique_ptr<ElementSetStore> estore;
+  if ((*store)->level() == 0) {
+    auto opened = ElementSetStore::Open((*store)->main_bm());
+    if (!opened.ok()) return Fail(opened.status());
+    estore = std::move(*opened);
+    server.AttachElementStore(estore.get());
+  }
+
   if (Status st = server.Start(); !st.ok()) return Fail(st);
 
   // CI and scripts parse this line (and wait for it) — keep it stable.
