@@ -13,6 +13,26 @@
 namespace pbitree {
 namespace serve {
 
+namespace {
+
+/// Strict u64 parse of a whole token: digits only (no sign, no suffix),
+/// range-checked. Garbage in a server reply must surface as Corruption,
+/// never as a silent zero.
+bool ParseReplyU64(const std::string& s, uint64_t* out) {
+  if (s.empty() ||
+      s.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 Status ParseHostPort(const std::string& spec, std::string* host, int* port) {
   std::string port_part;
   size_t colon = spec.rfind(':');
@@ -160,10 +180,14 @@ StatusOr<Client::UpdateResult> Client::UpdateRequest(Request req) {
     std::string tok = payload.substr(
         pos + 1, end == std::string::npos ? std::string::npos : end - pos - 1);
     if (tok.compare(0, 6, "epoch=") == 0) {
-      out.epoch = std::strtoull(tok.c_str() + 6, nullptr, 10);
+      if (!ParseReplyU64(tok.substr(6), &out.epoch)) {
+        return Status::Corruption("bad update reply: " + payload);
+      }
       saw_epoch = true;
     } else if (tok.compare(0, 5, "code=") == 0) {
-      out.code = std::strtoull(tok.c_str() + 5, nullptr, 10);
+      if (!ParseReplyU64(tok.substr(5), &out.code)) {
+        return Status::Corruption("bad update reply: " + payload);
+      }
     }
     pos = end;
   }
@@ -196,10 +220,12 @@ StatusOr<Client::UpdateResult> Client::DeleteElement(const std::string& name,
 
 StatusOr<uint64_t> Client::Epoch() {
   PBITREE_ASSIGN_OR_RETURN(std::string reply, TextRequest("epoch"));
-  if (reply.compare(0, 6, "epoch=") != 0) {
+  uint64_t epoch = 0;
+  if (reply.compare(0, 6, "epoch=") != 0 ||
+      !ParseReplyU64(reply.substr(6), &epoch)) {
     return Status::Corruption("bad epoch reply: " + reply);
   }
-  return static_cast<uint64_t>(std::strtoull(reply.c_str() + 6, nullptr, 10));
+  return epoch;
 }
 
 }  // namespace serve

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -397,31 +398,42 @@ Status Server::HandleJoin(int fd, const Request& req) {
   // Queue wait counts toward the client-observed query latency.
   obs::LatencyTimer query_timer(obs::Latency::kServeQuery);
 
-  // Result cache: a hit replays the stored pairs through a fresh
-  // SocketSink, whose chunking depends only on the pair sequence — the
-  // reply is byte-identical to the uncached one at the same epoch. A
-  // per-query simd override is a measurement knob, so those queries
-  // bypass the cache entirely (neither served from nor inserted).
-  ResultCache::Key cache_key{a_it->second, d_it->second, alg_name, epoch};
-  const bool use_cache = cache_.enabled() && !simd.has_value();
-  if (use_cache) {
-    if (std::shared_ptr<const ResultCache::Entry> hit =
-            cache_.Lookup(cache_key)) {
-      obs::Count(obs::Counter::kServeQueries);
-      SocketSink sink(fd);
-      PBITREE_RETURN_IF_ERROR(sink.OnBatch(hit->pairs));
-      PBITREE_RETURN_IF_ERROR(sink.Flush());
-      query_timer.Finish();
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
-      return WriteFrame(fd, FrameType::kDone, EncodeDone(hit->summary));
-    }
-  }
-
+  // Admission control covers cache hits too: replaying a large cached
+  // result still occupies this thread and the client's socket for the
+  // whole stream, so hits queue under the same concurrency and
+  // queue-depth limits as computed joins.
   AdmissionSlot slot(&admission_);
   if (!slot.ok()) {
     return WriteFrame(fd, FrameType::kError, EncodeError(slot.status()));
   }
   obs::Count(obs::Counter::kServeQueries);
+
+  // Result cache: a hit replays the stored pairs through a fresh
+  // SocketSink, whose chunking depends only on the pair sequence — the
+  // pair stream is byte-identical to the uncached one at the same
+  // epoch. A per-query simd override is a measurement knob, so those
+  // queries bypass the cache entirely (neither served from nor
+  // inserted).
+  ResultCache::Key cache_key{a_it->second, d_it->second, alg_name, epoch};
+  const bool use_cache = cache_.enabled() && !simd.has_value();
+  if (use_cache) {
+    if (std::shared_ptr<const ResultCache::Entry> hit =
+            cache_.Lookup(cache_key)) {
+      SocketSink sink(fd);
+      PBITREE_RETURN_IF_ERROR(sink.OnBatch(hit->pairs));
+      PBITREE_RETURN_IF_ERROR(sink.Flush());
+      query_timer.Finish();
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      // A replay did no join work: keep the pair count and algorithm
+      // but zero the producing run's timing/IO so clients never
+      // attribute its cost to this reply.
+      JoinSummary summary = hit->summary;
+      summary.wall_seconds = 0.0;
+      summary.page_reads = 0;
+      summary.page_writes = 0;
+      return WriteFrame(fd, FrameType::kDone, EncodeDone(summary));
+    }
+  }
 
   RunOptions options;
   options.work_pages = PerQueryWorkPages();
@@ -494,6 +506,18 @@ Status Server::HandleUpdate(int fd, const Request& req) {
     }
     return Status::OK();
   };
+  auto param_u32 = [&](const char* name, uint32_t* out) -> Status {
+    uint64_t v = 0;
+    Status st = param_u64(name, &v);
+    if (!st.ok()) return st;
+    if (v > UINT32_MAX) {  // reject, never silently truncate
+      return Status::InvalidArgument(std::string("update ") + name + "=" +
+                                     std::to_string(v) +
+                                     " does not fit in 32 bits");
+    }
+    *out = static_cast<uint32_t>(v);
+    return Status::OK();
+  };
 
   // Each update request is its own batch: mutate, then commit (or roll
   // back so the writer lock is released and the old state stands).
@@ -501,15 +525,13 @@ Status Server::HandleUpdate(int fd, const Request& req) {
   Status st;
   Code new_code = kInvalidCode;
   if (action == "insert") {
-    uint64_t parent = 0, tag = 0, doc = 0;
+    uint64_t parent = 0;
+    uint32_t tag = 0, doc = 0;
     st = param_u64("parent", &parent);
-    if (st.ok()) st = param_u64("tag", &tag);
-    if (st.ok()) st = param_u64("doc", &doc);
+    if (st.ok()) st = param_u32("tag", &tag);
+    if (st.ok()) st = param_u32("doc", &doc);
     if (!st.ok()) return reply_error(st);
-    StatusOr<Code> code =
-        estore_->InsertChild(set_it->second, parent,
-                             static_cast<uint32_t>(tag),
-                             static_cast<uint32_t>(doc));
+    StatusOr<Code> code = estore_->InsertChild(set_it->second, parent, tag, doc);
     st = code.ok() ? Status::OK() : code.status();
     if (code.ok()) new_code = *code;
   } else if (action == "delete") {

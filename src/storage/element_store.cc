@@ -332,6 +332,11 @@ Status ElementSetStore::AppendToSet(const std::string& name, SetState* s,
 
 Status ElementSetStore::InsertRecord(const std::string& name,
                                      const ElementRecord& rec) {
+  // The lookup reads catalog_/sets_, which a concurrent thread's Commit
+  // mutates under the writer lock — open the batch (taking that lock)
+  // first. A validation failure leaves the batch open, like any other
+  // failed mutation: the caller commits or rolls back.
+  BeginBatch();
   PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
   if (!IsValidCode(rec.code, s->set.spec)) {
     return Status::InvalidArgument(
@@ -361,8 +366,8 @@ Result<ElementSetStore::RecordLoc> ElementSetStore::Locate(SetState* s,
 }
 
 Status ElementSetStore::DeleteElement(const std::string& name, Code code) {
+  BeginBatch();  // before the lookup: MutableSet reads Commit-mutated state
   PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
-  BeginBatch();
   PBITREE_RETURN_IF_ERROR(EnsureMeta(s));
   PBITREE_ASSIGN_OR_RETURN(RecordLoc loc, Locate(s, code));
   SnapshotSet(name, s);
@@ -422,13 +427,13 @@ Status ElementSetStore::CollectInterval(int tree_height, CodeInterval interval,
 
 Result<Code> ElementSetStore::InsertChild(const std::string& name, Code parent,
                                           uint32_t tag, uint32_t doc) {
+  BeginBatch();  // before the lookup: MutableSet reads Commit-mutated state
   PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
   const PBiTreeSpec spec = s->set.spec;
   if (!IsValidCode(parent, spec)) {
     return Status::InvalidArgument(
         "parent is not a valid code of the set's PBiTree");
   }
-  BeginBatch();
   std::vector<RecordLoc> inside;
   PBITREE_RETURN_IF_ERROR(
       CollectInterval(spec.height, SubtreeInterval(parent), parent, &inside));
@@ -668,15 +673,12 @@ Status ElementSetStore::Commit() {
     images.emplace_back(pid, std::move(img));
   }
 
-  // Phase 2 — write-ahead log. Retire the previous commit's chain
-  // first (it is never needed again: its epoch is already the header's)
-  // and allocate the new one, so the header image can carry the final
-  // log pointer and frontier.
+  // Phase 2 — write-ahead log. The new chain takes fresh pages: the
+  // previous commit's chain is retired only after the new header is
+  // durable, so the old header's log pointer keeps naming an intact,
+  // replayable chain until the instant the new header supersedes it —
+  // a crash anywhere before that recovers the old state in full.
   DiskManager* disk = bm_->disk();
-  for (PageId pid : live_log_pages_) {
-    PBITREE_RETURN_IF_ERROR(disk->FreePage(pid));
-  }
-  live_log_pages_.clear();
   const size_t n_images = images.size() + 1;  // + the header image
   const size_t stream_bytes = kLogHeaderBytes + n_images * kLogImageBytes;
   const size_t n_log = (stream_bytes + kLogPagePayload - 1) / kLogPagePayload;
@@ -751,28 +753,53 @@ Status ElementSetStore::Commit() {
                            log_status.ToString() + "); batch left open");
   }
 
-  // Phase 3 — point of no return. The batch is committed: even if
+  // Phase 3 — publish. The new header carries the epoch and log
+  // pointer that make the chain above discoverable, so it must be
+  // durable BEFORE any in-place data write: up to this sync a crash
+  // finds the old header naming the old chain (the old state, in
+  // full); past it, recovery replays the new log over any torn
+  // in-place write. Its recovery-critical scalars sit in the first
+  // half of the page, which even a torn header write leaves intact. A
+  // header write that fails with the process alive is still safe to
+  // back out of — the on-disk header was never replaced — so the pool
+  // copy is restored, the chain freed, and the batch stays open.
+  Status publish = Status::OK();
+  if (Result<Page*> hp = bm_->FetchPage(0); hp.ok()) {
+    std::memcpy((*hp)->data(), header_img.data(), kPageSize);
+    publish = bm_->UnpinPage(0, /*dirty=*/true);
+    if (publish.ok()) publish = bm_->FlushPage(0);
+    if (publish.ok()) publish = disk->Sync();
+    if (!publish.ok()) {
+      std::vector<char> old_img(kPageSize);
+      catalog_.RenderHeader(old_img.data(), disk->frontier());
+      if (Result<Page*> rp = bm_->FetchPage(0); rp.ok()) {
+        std::memcpy((*rp)->data(), old_img.data(), kPageSize);
+        (void)bm_->UnpinPage(0, /*dirty=*/true);
+      }
+    }
+  } else {
+    publish = hp.status();
+  }
+  if (!publish.ok()) {
+    for (PageId pid : log_pids) (void)disk->FreePage(pid);
+    return Status::IOError("commit header could not be published (" +
+                           publish.ToString() + "); batch left open");
+  }
+
+  // Phase 4 — point of no return. The batch is committed: even if
   // every in-place write below fails or tears, reopening the database
-  // replays the verified log. Apply everything, remember the first
-  // error, finalize the in-memory state regardless.
+  // replays the now-discoverable verified log. Apply everything,
+  // remember the first error, finalize the in-memory state regardless.
   Status apply = Status::OK();
   auto note = [&apply](Status s) {
     if (apply.ok() && !s.ok()) apply = std::move(s);
   };
   for (const auto& [pid, img] : images) note(bm_->FlushPage(pid));
   note(disk->Sync());
-  Result<Page*> hp = bm_->FetchPage(0);
-  if (hp.ok()) {
-    std::memcpy((*hp)->data(), header_img.data(), kPageSize);
-    note(bm_->UnpinPage(0, /*dirty=*/true));
-    note(bm_->FlushPage(0));
-    note(disk->Sync());
-  } else {
-    note(hp.status());
-  }
+  for (PageId pid : live_log_pages_) note(disk->FreePage(pid));
+  live_log_pages_ = std::move(log_pids);
 
   catalog_ = std::move(cat);
-  live_log_pages_ = std::move(log_pids);
   for (auto& [nm, st] : sets_) {
     if (st.dirty) {
       st.dirty = false;
@@ -836,11 +863,12 @@ Status ElementSetStore::Rollback() {
 }
 
 Result<BPTree*> ElementSetStore::EnsureCodeIndex(const std::string& name) {
-  PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
-  // Index builds write pages; serialize against readers/mutators unless
-  // this thread's batch already holds the writer lock.
+  // Index builds write pages, and even the set lookup reads state a
+  // concurrent Commit mutates (catalog_, sets_): take the writer lock
+  // before touching either, unless this thread's batch already holds it.
   std::unique_lock<std::shared_mutex> guard;
   if (!OwnsBatch()) guard = std::unique_lock<std::shared_mutex>(mu_);
+  PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
   if (s->code_index) return &*s->code_index;
   PBITREE_ASSIGN_OR_RETURN(BPTree tree,
                            BPTree::CreateEmpty(bm_, KeyKind::kCode));
@@ -858,9 +886,10 @@ Result<BPTree*> ElementSetStore::EnsureCodeIndex(const std::string& name) {
 
 Result<IntervalIndex*> ElementSetStore::EnsureIntervalIndex(
     const std::string& name) {
-  PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
+  // Same lock-before-lookup discipline as EnsureCodeIndex.
   std::unique_lock<std::shared_mutex> guard;
   if (!OwnsBatch()) guard = std::unique_lock<std::shared_mutex>(mu_);
+  PBITREE_ASSIGN_OR_RETURN(SetState * s, MutableSet(name));
   if (s->interval_index && !s->interval_stale) return &*s->interval_index;
   if (s->interval_index) {
     PBITREE_RETURN_IF_ERROR(s->interval_index->Drop(bm_));

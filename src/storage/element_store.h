@@ -58,8 +58,14 @@ namespace pbitree {
 ///     chain, synced, and read back to verify their checksum — any
 ///     failure up to here leaves the old state untouched and the batch
 ///     still open;
-///  2. only then are the data pages and the header flushed in place.
-/// A crash before (1) completes loses the batch cleanly; a crash after
+///  2. the new header is flushed and synced — the point of no return.
+///     Its log pointer is what makes the chain from (1) discoverable,
+///     so it must be durable before any in-place data write; until it
+///     lands, the old header still names the previous (not yet
+///     retired) chain and recovery lands on the old state in full;
+///  3. only then are the data pages flushed in place and the previous
+///     commit's chain retired.
+/// A crash before (2) completes loses the batch cleanly; a crash after
 /// — including torn in-place writes that lie about succeeding — is
 /// repaired by Recover(), which replays the verified log images before
 /// anything else reads the database. Recovery is idempotent (physical
@@ -164,10 +170,11 @@ class ElementSetStore {
   bool InBatch() const { return batch_open_.load(std::memory_order_acquire); }
 
   /// Durably commits the open batch and bumps the epoch. No-op without
-  /// an open batch. An error *before* the commit log is durable leaves
-  /// the batch open and the old state intact (retry or roll back); an
-  /// error after that point reports the failed in-place flush but the
-  /// batch IS committed — reopening the database replays the log.
+  /// an open batch. An error *before* the new header is durable (log
+  /// write, read-back verify, or header publish) leaves the batch open
+  /// and the old state intact (retry or roll back); an error after that
+  /// point reports the failed in-place flush but the batch IS committed
+  /// — reopening the database replays the log.
   Status Commit();
 
   /// Restores every modified page, handle and metadata to the

@@ -784,6 +784,117 @@ TEST(ElementStoreCrashTest, TornWriteSweepReplaysOrIgnoresNeverCorrupts) {
   std::remove(path.c_str());
 }
 
+// Crash *inside* Commit(): a sticky write fault truncates the commit's
+// write sequence at position k — writes before the k-th land, the k-th
+// and everything after never do, which is exactly the on-disk prefix a
+// crash at that point leaves behind. The dangerous window is after the
+// log chain is durable but before the new header (whose log pointer
+// makes the chain discoverable) lands: the reopened store must see the
+// old state whenever Commit never reached its point of no return (the
+// batch is still open) and the new state whenever it did (batch
+// closed, epoch bumped) — never old catalog metadata over new page
+// bytes. The first clean commit seeds a previous log chain, so the
+// sweep also covers the old header pointing at a chain the new commit
+// is about to retire.
+TEST(ElementStoreCrashTest, StickyFaultMidCommitSweepNeverMixesStates) {
+  const std::string path =
+      ::testing::TempDir() + "/estore_midcommit_sweep.db";
+  std::remove(path.c_str());
+  PBiTreeSpec spec{12};
+  Random rng(137);
+
+  std::set<Code> live;
+  {
+    CrashStack s = OpenCrashStack(path, /*recover=*/false);
+    auto builder = ElementSetBuilder::Create(s.bm.get(), spec);
+    ASSERT_TRUE(builder.ok());
+    uint32_t doc = 1;
+    while (live.size() < 120) {
+      Code c = rng.UniformRange(1, spec.MaxCode());
+      if (live.insert(c).second) {
+        ASSERT_TRUE(builder->AddCode(c, 1, doc++).ok());
+      }
+    }
+    ElementSet set = builder->Build();
+    auto catalog = Catalog::Load(s.bm.get());
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog->Put("data", set).ok());
+    ASSERT_TRUE(catalog->Save(s.bm.get()).ok());
+    ASSERT_TRUE(s.bm->FlushAll().ok());
+    ASSERT_TRUE(s.disk->Sync().ok());
+  }
+
+  uint64_t committed_epoch = 0;
+  int commits_ok = 0, commits_failed = 0;
+  for (uint32_t k = 1; k <= 24; ++k) {
+    SCOPED_TRACE("sticky write fault from write #" + std::to_string(k));
+    CrashStack s = OpenCrashStack(path, /*recover=*/true);
+    auto opened = ElementSetStore::Open(s.bm.get());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<ElementSetStore> store = std::move(*opened);
+    ASSERT_EQ(store->epoch(), committed_epoch);
+    auto set = store->GetSet("data");
+    ASSERT_TRUE(set.ok());
+    ASSERT_EQ(CodeBag(ScanSet(s.bm.get(), **set)),
+              std::multiset<Code>(live.begin(), live.end()));
+
+    std::vector<Code> inserts, deletes;
+    while (inserts.size() < 3) {
+      Code c = rng.UniformRange(1, spec.MaxCode());
+      if (!live.count(c) &&
+          std::find(inserts.begin(), inserts.end(), c) == inserts.end()) {
+        inserts.push_back(c);
+      }
+    }
+    auto it = live.begin();
+    deletes.push_back(*it++);
+    deletes.push_back(*it);
+    for (Code c : inserts) {
+      ASSERT_TRUE(store->InsertRecord("data", ElementRecord{c, 1, 0}).ok());
+    }
+    for (Code c : deletes) {
+      ASSERT_TRUE(store->DeleteElement("data", c).ok());
+    }
+
+    s.fb->Arm(MustParse("write_every=" + std::to_string(k) + ",transient=0"));
+    (void)store->Commit();
+    s.fb->Disarm();
+    // The batch closing is the observable point of no return: once it
+    // closed, the commit must be durable no matter how many in-place
+    // writes the sticky fault swallowed afterwards.
+    if (!store->InBatch()) {
+      ++commits_ok;
+      ++committed_epoch;
+      for (Code c : inserts) live.insert(c);
+      for (Code c : deletes) live.erase(c);
+    } else {
+      ++commits_failed;
+    }
+
+    // Crash: drop every frame with no write-back, then tear down.
+    s.bm->DiscardAll();
+    store.reset();
+    s.bm.reset();
+    s.disk.reset();
+  }
+  // The sweep exercised both arms (small k halts inside the log phase;
+  // larger k halts between the header publish and the data flushes).
+  EXPECT_GT(commits_ok, 0);
+  EXPECT_GT(commits_failed, 0);
+
+  CrashStack s = OpenCrashStack(path, /*recover=*/true);
+  auto opened = ElementSetStore::Open(s.bm.get());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->epoch(), committed_epoch);
+  auto set = (*opened)->GetSet("data");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(CodeBag(ScanSet(s.bm.get(), **set)),
+            std::multiset<Code>(live.begin(), live.end()));
+  opened->reset();
+  EXPECT_EQ(s.bm->PinnedFrames(), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(ElementStoreCrashTest, UncommittedBatchDiesCleanlyWithTheProcess) {
   const std::string path =
       ::testing::TempDir() + "/estore_uncommitted_crash.db";

@@ -415,6 +415,41 @@ TEST_F(CachedServeTest, ServerWithoutMutableStoreRefusesUpdatesTyped) {
   EXPECT_EQ(Counter(obs::Counter::kServeCacheHits), 1u);
 }
 
+TEST_F(CachedServeTest, UpdateRejectsTagAndDocThatOverflow32Bits) {
+  StartServer();
+  Client c = Connect();
+
+  // tag/doc travel as u64 text but are stored as u32: a value above
+  // UINT32_MAX must be a typed request error, never a silent
+  // truncation (4294967296 would otherwise insert as tag 0).
+  auto raw_update = [&](const std::string& tag, const std::string& doc) {
+    serve::Request req;
+    req.op = "update";
+    req.params["set"] = "desc";
+    req.params["action"] = "insert";
+    req.params["parent"] = std::to_string(anc_codes_[0]);
+    req.params["tag"] = tag;
+    req.params["doc"] = doc;
+    EXPECT_TRUE(serve::WriteRequestFrame(c.fd(), req).ok());
+    serve::FrameType type{};
+    std::string payload;
+    EXPECT_TRUE(serve::ReadFrame(c.fd(), &type, &payload).ok());
+    EXPECT_EQ(type, serve::FrameType::kError);
+    return serve::DecodeError(payload);
+  };
+  EXPECT_EQ(raw_update("4294967296", "1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(raw_update("1", "18446744073709551615").code(),
+            StatusCode::kInvalidArgument);
+
+  // Nothing was committed: the epoch is untouched and a valid update
+  // still goes through on the same connection.
+  EXPECT_EQ(estore_->epoch(), 0u);
+  auto ok = c.InsertChild("desc", anc_codes_[0], 0, 77);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->epoch, 1u);
+}
+
 TEST_F(CachedServeTest, CacheDisabledByConfigServesEveryQueryFresh) {
   ServeConfig cfg;
   cfg.port = 0;

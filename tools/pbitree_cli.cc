@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -410,6 +411,15 @@ bool ParseU64Arg(const std::string& s, uint64_t* out) {
   return true;
 }
 
+/// Tag and doc ids are stored as 32-bit fields; a wider argument must be
+/// rejected here, not truncated on the way into the store or the wire.
+bool ParseU32Arg(const std::string& s, uint32_t* out) {
+  uint64_t v = 0;
+  if (!ParseU64Arg(s, &v) || v > UINT32_MAX) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
 /// `update --server`: route the mutation to a running daemon (which
 /// commits it and invalidates its result cache).
 int CmdUpdateServer(const GlobalOptions& g,
@@ -421,14 +431,15 @@ int CmdUpdateServer(const GlobalOptions& g,
     if (args.size() < 5) {
       return Usage("update insert needs <set> <parent> <tag> <doc>");
     }
-    uint64_t parent = 0, tag = 0, doc = 0;
-    if (!ParseU64Arg(args[2], &parent) || !ParseU64Arg(args[3], &tag) ||
-        !ParseU64Arg(args[4], &doc)) {
-      return Usage("update insert takes numeric <parent> <tag> <doc>");
+    uint64_t parent = 0;
+    uint32_t tag = 0, doc = 0;
+    if (!ParseU64Arg(args[2], &parent) || !ParseU32Arg(args[3], &tag) ||
+        !ParseU32Arg(args[4], &doc)) {
+      return Usage(
+          "update insert takes numeric <parent> <tag> <doc> "
+          "(tag and doc must fit in 32 bits)");
     }
-    auto r = (*client)->InsertChild(args[1], parent,
-                                    static_cast<uint32_t>(tag),
-                                    static_cast<uint32_t>(doc));
+    auto r = (*client)->InsertChild(args[1], parent, tag, doc);
     if (!r.ok()) return Fail(r.status());
     std::printf("inserted code=%llu into '%s' (epoch %llu)\n",
                 static_cast<unsigned long long>(r->code), args[1].c_str(),
@@ -473,14 +484,15 @@ int CmdUpdate(const GlobalOptions& g, const std::vector<std::string>& args) {
     if (rest.size() < 5) {
       return Usage("update insert needs <set> <parent> <tag> <doc>");
     }
-    uint64_t parent = 0, tag = 0, doc = 0;
-    if (!ParseU64Arg(rest[2], &parent) || !ParseU64Arg(rest[3], &tag) ||
-        !ParseU64Arg(rest[4], &doc)) {
-      return Usage("update insert takes numeric <parent> <tag> <doc>");
+    uint64_t parent = 0;
+    uint32_t tag = 0, doc = 0;
+    if (!ParseU64Arg(rest[2], &parent) || !ParseU32Arg(rest[3], &tag) ||
+        !ParseU32Arg(rest[4], &doc)) {
+      return Usage(
+          "update insert takes numeric <parent> <tag> <doc> "
+          "(tag and doc must fit in 32 bits)");
     }
-    auto code = (*store)->InsertChild(rest[1], parent,
-                                      static_cast<uint32_t>(tag),
-                                      static_cast<uint32_t>(doc));
+    auto code = (*store)->InsertChild(rest[1], parent, tag, doc);
     if (!code.ok()) {
       (void)(*store)->Rollback();
       return Fail(code.status());
